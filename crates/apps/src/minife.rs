@@ -1,0 +1,123 @@
+//! MiniFE proxy — the Mini Finite-Element HPC proxy app (§VI-B).
+//!
+//! MiniFE assembles a sparse linear system from an unstructured 3-D hex
+//! mesh and solves it with conjugate gradients. Per CG iteration the
+//! communication pattern is: a boundary (halo) exchange before the SpMV,
+//! and two global reductions for the dot products. In this flat-collective
+//! study the halo exchange is expressed as an `MPI_Allgather` of each
+//! rank's boundary slab, and the two dot products as 8-byte
+//! `MPI_Allreduce` calls, so the proxy exercises the tuned collective mix.
+//! Compute per iteration is the memory-bound SpMV plus vector updates.
+
+use crate::runner::{Phase, Workload};
+use pml_collectives::Collective;
+use pml_simnet::{JobLayout, NodeSpec};
+
+/// MiniFE proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiniFe {
+    /// Global mesh dimension (nx = ny = nz), as in `miniFE -nx N`.
+    pub nx: usize,
+    /// CG iterations to run.
+    pub iterations: u32,
+}
+
+impl Default for MiniFe {
+    fn default() -> Self {
+        MiniFe {
+            nx: 128,
+            iterations: 50,
+        }
+    }
+}
+
+impl MiniFe {
+    /// Unknowns per rank under a balanced partition.
+    fn rows_per_rank(&self, world: u32) -> f64 {
+        let total = (self.nx * self.nx * self.nx) as f64;
+        total / world as f64
+    }
+
+    /// Halo slab bytes per rank: one face of the local subdomain,
+    /// 8-byte values.
+    fn halo_bytes(&self, world: u32) -> usize {
+        let local = self.rows_per_rank(world);
+        let face = local.powf(2.0 / 3.0).ceil();
+        ((face * 8.0) as usize).max(8)
+    }
+}
+
+impl Workload for MiniFe {
+    fn name(&self) -> &str {
+        "MiniFE"
+    }
+
+    fn phases(&self, node: &NodeSpec, layout: JobLayout) -> Vec<Phase> {
+        let world = layout.world_size();
+        let rows = self.rows_per_rank(world);
+        // The CG iteration is memory-bound: the 27-point SpMV streams
+        // ~27 × 12 bytes per row (values + column indices + vectors),
+        // plus ~5 vector sweeps of 8 bytes, through this rank's share of
+        // the node's memory bandwidth.
+        let bytes = rows * (27.0 * 12.0 + 5.0 * 8.0);
+        let bw_share = node.cpu.mem_bw_gbs * 1e9 / layout.ppn as f64;
+        let compute_s = bytes / bw_share;
+        let halo = self.halo_bytes(world);
+        let mut phases = Vec::with_capacity(self.iterations as usize * 4);
+        for _ in 0..self.iterations {
+            phases.push(Phase::Collective(Collective::Allgather, halo));
+            phases.push(Phase::Compute(compute_s));
+            // Two dot products per CG iteration: 8-byte global reductions.
+            phases.push(Phase::Collective(Collective::Allreduce, 8));
+            phases.push(Phase::Collective(Collective::Allreduce, 8));
+        }
+        phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_app;
+    use pml_clusters::by_name;
+    use pml_core::MvapichDefault;
+
+    #[test]
+    fn trace_shape() {
+        let m = MiniFe {
+            nx: 64,
+            iterations: 3,
+        };
+        let node = &by_name("Frontera").unwrap().spec.node;
+        let phases = m.phases(node, JobLayout::new(2, 8));
+        assert_eq!(phases.len(), 12);
+        let collectives = phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Collective(..)))
+            .count();
+        assert_eq!(collectives, 9);
+        let reductions = phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Collective(Collective::Allreduce, _)))
+            .count();
+        assert_eq!(reductions, 6);
+    }
+
+    #[test]
+    fn halo_shrinks_with_scale() {
+        let m = MiniFe::default();
+        assert!(m.halo_bytes(16) > m.halo_bytes(256));
+    }
+
+    #[test]
+    fn strong_scaling_reduces_compute_time() {
+        let m = MiniFe {
+            nx: 96,
+            iterations: 5,
+        };
+        let node = &by_name("Frontera").unwrap().spec.node;
+        let small = run_app(&m, node, JobLayout::new(1, 8), &MvapichDefault);
+        let large = run_app(&m, node, JobLayout::new(4, 8), &MvapichDefault);
+        assert!(large.compute_s < small.compute_s);
+    }
+}

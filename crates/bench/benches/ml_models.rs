@@ -1,0 +1,44 @@
+//! Criterion: model-side latencies — Random Forest prediction (the
+//! constant-time selection claim), single-row inference, and tuning-table
+//! generation for a full cluster grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pml_clusters::{by_name, generate_cluster, DatagenConfig};
+use pml_collectives::Collective;
+use pml_core::{JobConfig, PretrainedModel, TrainConfig};
+use pml_mlcore::ForestParams;
+use std::hint::black_box;
+
+fn bench_ml(c: &mut Criterion) {
+    // A small but real training set (trimmed RI2 grid).
+    let mut e = by_name("RI2").unwrap().clone();
+    e.node_grid = vec![1, 2, 4];
+    e.ppn_grid = vec![2, 8];
+    e.msg_grid = vec![16, 1024, 65536];
+    let records = generate_cluster(&e, Collective::Alltoall, &DatagenConfig::noiseless());
+    let cfg = TrainConfig {
+        forest: ForestParams {
+            n_estimators: 50,
+            seed: 0,
+            ..Default::default()
+        },
+        top_k_features: Some(5),
+    };
+    let model = PretrainedModel::train(&records, Collective::Alltoall, &cfg);
+    let frontera = by_name("Frontera").unwrap();
+
+    let mut g = c.benchmark_group("ml");
+    g.bench_function("train_50_trees", |b| {
+        b.iter(|| black_box(PretrainedModel::train(&records, Collective::Alltoall, &cfg)))
+    });
+    g.bench_function("predict_one", |b| {
+        b.iter(|| black_box(model.predict(&frontera.spec.node, JobConfig::new(16, 56, 4096))))
+    });
+    g.bench_function("generate_tuning_table_frontera_grid", |b| {
+        b.iter(|| black_box(model.generate_tuning_table(frontera)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

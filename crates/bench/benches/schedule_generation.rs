@@ -1,0 +1,53 @@
+//! Criterion: communication-schedule generation cost per algorithm, the
+//! per-job-shape setup cost the measurement fast path amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pml_collectives::{AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_generation");
+    for p in [16u32, 64, 256] {
+        for algo in AllgatherAlgo::ALL {
+            if !algo.supports(p) {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("allgather_{}", algo.name()), p),
+                &p,
+                |b, &p| b.iter(|| black_box(algo.schedule(p, 1))),
+            );
+        }
+        for algo in AlltoallAlgo::ALL {
+            if !algo.supports(p) {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("alltoall_{}", algo.name()), p),
+                &p,
+                |b, &p| b.iter(|| black_box(algo.schedule(p, 1))),
+            );
+        }
+        for algo in BcastAlgo::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("bcast_{}", algo.name()), p),
+                &p,
+                |b, &p| b.iter(|| black_box(algo.schedule(p, 4096))),
+            );
+        }
+        for algo in AllreduceAlgo::ALL {
+            if !algo.supports(p) {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("allreduce_{}", algo.name()), p),
+                &p,
+                |b, &p| b.iter(|| black_box(algo.schedule(p, 4096))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

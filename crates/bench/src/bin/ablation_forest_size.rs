@@ -1,0 +1,70 @@
+//! Ablation: Random Forest size and depth vs unseen-cluster accuracy and
+//! inference cost — how cheap can the shipped model get before the 6%-
+//! of-optimal guarantee erodes (DESIGN.md design-choice ablation).
+
+use pml_bench::{full_dataset, print_table};
+use pml_clusters::cluster_split_auto;
+use pml_collectives::Collective;
+use pml_core::{records_to_dataset, JobConfig, PretrainedModel, TrainConfig};
+use pml_mlcore::metrics::accuracy;
+use pml_mlcore::ForestParams;
+use std::time::Instant;
+
+fn main() {
+    let coll = Collective::Alltoall;
+    let records = full_dataset(coll);
+    let ((train, test), held) = cluster_split_auto(&records, 0.7, 7);
+    eprintln!("held-out clusters: {held:?}");
+    let test_data = records_to_dataset(&test, coll);
+    let frontera = pml_clusters::by_name("Frontera").unwrap();
+
+    let mut rows = Vec::new();
+    for (trees, depth) in [
+        (5usize, None),
+        (20, None),
+        (100, None),
+        (300, None),
+        (100, Some(8)),
+    ] {
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: trees,
+                max_depth: depth,
+                seed: 42,
+                ..Default::default()
+            },
+            top_k_features: Some(5),
+        };
+        let t0 = Instant::now();
+        let model = PretrainedModel::train(&train, coll, &cfg);
+        let train_s = t0.elapsed().as_secs_f64();
+        let acc = accuracy(&test_data.y, &model.predict_dataset(&test_data));
+        // Amortized single-inference latency (the constant-time claim).
+        let t1 = Instant::now();
+        let reps = 2000;
+        for i in 0..reps {
+            std::hint::black_box(
+                model.predict(&frontera.spec.node, JobConfig::new(16, 56, 1 << (i % 21))),
+            );
+        }
+        let infer_us = t1.elapsed().as_secs_f64() / reps as f64 * 1e6;
+        rows.push(vec![
+            format!("{trees}"),
+            depth.map_or("unlimited".into(), |d| d.to_string()),
+            format!("{:.1}%", acc * 100.0),
+            format!("{train_s:.2}s"),
+            format!("{infer_us:.1}us"),
+        ]);
+    }
+    print_table(
+        "Ablation — forest size vs unseen-cluster accuracy (MPI_Alltoall)",
+        &[
+            "trees",
+            "max depth",
+            "cluster-test accuracy",
+            "train time",
+            "per-inference",
+        ],
+        &rows,
+    );
+}

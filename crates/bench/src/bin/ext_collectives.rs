@@ -1,0 +1,66 @@
+//! Extension experiment (the paper's future-work direction): the same
+//! pre-training pipeline applied to MPI_Bcast and MPI_Allreduce.
+//!
+//! A small multi-cluster dataset is generated for each extension
+//! collective, a model is trained with two clusters held out, and its
+//! unseen-cluster accuracy and runtime-vs-default speedup are reported —
+//! demonstrating that nothing in the framework is specific to the original
+//! two collectives.
+
+use pml_bench::{cluster, geomean_speedup, msg_sweep, pct, print_table, standard_train};
+use pml_clusters::{by_name, cluster_split, generate_cluster, DatagenConfig};
+use pml_collectives::Collective;
+use pml_core::{
+    records_to_dataset, AlgorithmSelector, MlSelector, MvapichDefault, PretrainedModel,
+};
+use pml_mlcore::metrics::accuracy;
+
+fn main() {
+    let train_names = [
+        "RI2",
+        "RI",
+        "Haswell",
+        "Bebop",
+        "Rome",
+        "Sierra",
+        "Frontera RTX",
+    ];
+    let test_names = ["Frontera", "MRI"];
+    let mut rows = Vec::new();
+    for coll in [Collective::Bcast, Collective::Allreduce] {
+        let mut records = Vec::new();
+        for name in train_names.iter().chain(&test_names) {
+            let mut e = by_name(name).unwrap().clone();
+            e.node_grid.truncate(4);
+            e.ppn_grid.truncate(6);
+            records.extend(generate_cluster(&e, coll, &DatagenConfig::default()));
+        }
+        let (train, test) = cluster_split(&records, &test_names);
+        let model = PretrainedModel::train(&train, coll, &standard_train());
+        let test_data = records_to_dataset(&test, coll);
+        let acc = accuracy(&test_data.y, &model.predict_dataset(&test_data));
+
+        // Runtime effect on Frontera at 8x56 against the static default.
+        let frontera = cluster("Frontera");
+        let ml = MlSelector::new(frontera.spec.node.clone(), None, None).with_model(model);
+        let default = MvapichDefault;
+        let sels: [&dyn AlgorithmSelector; 2] = [&ml, &default];
+        let cmp = pml_bench::compare_selectors(frontera, coll, 8, 56, &msg_sweep(20), &sels);
+        rows.push(vec![
+            coll.to_string(),
+            format!("{}", train.len()),
+            format!("{:.1}%", acc * 100.0),
+            pct(geomean_speedup(&cmp, 1)),
+        ]);
+    }
+    print_table(
+        "Extension — pre-training applied to MPI_Bcast / MPI_Allreduce",
+        &[
+            "collective",
+            "train records",
+            "unseen-cluster accuracy",
+            "speedup vs default (Frontera 8x56)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Fig. 1: core-hours of offline micro-benchmarking vs ACCLAiM on TACC
+//! Frontera (Intel Xeon Platinum 8280, InfiniBand EDR), MPI_Allgather.
+//!
+//! Micro-benchmark core-hours are computed from our simulated sweep at node
+//! counts the simulator can execute (1–16 nodes at PPN 56); larger node
+//! counts are extrapolated from the fitted power law of the measured range
+//! (marked with `~`), matching the paper's presentation up to 8192 nodes.
+//! ACCLAiM's line is the published 5.62-minute-at-128-nodes anchor billed
+//! on all cores (a lower bound, as in §II).
+
+use pml_bench::{cluster, print_table};
+use pml_collectives::Collective;
+use pml_core::overhead;
+
+fn main() {
+    let frontera = cluster("Frontera");
+    let ppn = 56;
+    let measured_nodes = [1u32, 2, 4, 8, 16];
+    let mut measured: Vec<(u32, f64)> = Vec::new();
+    for &n in &measured_nodes {
+        let ch =
+            overhead::microbench_core_hours_cumulative(frontera, Collective::Allgather, n, ppn);
+        measured.push((n, ch));
+    }
+    // Power-law fit log(ch) = a + b log(n) over the measured tail.
+    let tail = &measured[1..];
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(n, ch) in tail {
+        let x = (n as f64).ln();
+        let y = ch.ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let k = tail.len() as f64;
+    let b = (k * sxy - sx * sy) / (k * sxx - sx * sx);
+    let a = (sy - b * sx) / k;
+    let extrapolate = |n: u32| (a + b * (n as f64).ln()).exp();
+
+    let all_nodes = [
+        1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+    ];
+    let rows: Vec<Vec<String>> = all_nodes
+        .iter()
+        .map(|&n| {
+            let (mb, mark) = match measured.iter().find(|(mn, _)| *mn == n) {
+                Some(&(_, ch)) => (ch, ""),
+                None => (extrapolate(n), "~"),
+            };
+            vec![
+                n.to_string(),
+                format!("{mark}{mb:.3e}"),
+                format!("{:.3e}", overhead::acclaim_core_hours(n, ppn)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1 — Core-hours on Frontera (PPN=56, MPI_Allgather)",
+        &[
+            "nodes",
+            "offline-microbench (core-h)",
+            "ACCLAiM lower bound (core-h)",
+        ],
+        &rows,
+    );
+    println!("\nmicrobench power-law exponent b = {b:.2} (core-hours ~ nodes^b)");
+    println!("('~' = extrapolated beyond the simulatable range)");
+}

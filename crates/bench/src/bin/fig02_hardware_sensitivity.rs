@@ -1,0 +1,55 @@
+//! Fig. 2: the same MPI_Alltoall algorithms ranked on two clusters
+//! (Frontera: Intel Xeon 8280 + EDR; MRI: AMD EPYC 7713 + HDR) at
+//! 2 nodes × 16 PPN — the motivating observation that empirical knowledge
+//! does not transfer across hardware.
+
+use pml_bench::{cluster, msg_sweep, print_table, us};
+use pml_collectives::{measure_sweep, AlltoallAlgo, Collective};
+use pml_simnet::JobLayout;
+
+fn main() {
+    let sizes = msg_sweep(14); // 1 B .. 16 KiB, as in the figure
+    for name in ["Frontera", "MRI"] {
+        let entry = cluster(name);
+        let sweep = measure_sweep(
+            Collective::Alltoall,
+            &entry.spec.node,
+            JobLayout::new(2, 16),
+            &sizes,
+        );
+        let headers: Vec<&str> = std::iter::once("msg(B)")
+            .chain(AlltoallAlgo::ALL.iter().map(|a| a.name()))
+            .collect();
+        let rows: Vec<Vec<String>> = sweep
+            .iter()
+            .zip(&sizes)
+            .map(|(col, &m)| {
+                let mut row = vec![m.to_string()];
+                for algo in AlltoallAlgo::ALL {
+                    let t = col
+                        .iter()
+                        .find(|(a, _)| a.name() == algo.name())
+                        .map(|(_, t)| *t)
+                        .unwrap_or(f64::NAN);
+                    row.push(us(t));
+                }
+                row
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 2 — MPI_Alltoall runtimes (us) on {name}, 2 nodes x 16 PPN"),
+            &headers,
+            &rows,
+        );
+        // Winner per size, to make the cross-cluster flip visible.
+        let winners: Vec<String> = sweep
+            .iter()
+            .zip(&sizes)
+            .map(|(col, &m)| {
+                let best = col.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+                format!("{}B:{}", m, best.0.name())
+            })
+            .collect();
+        println!("winners: {}", winners.join(" "));
+    }
+}

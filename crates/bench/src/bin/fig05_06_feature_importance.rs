@@ -1,0 +1,43 @@
+//! Figs. 5 & 6: Gini-impurity feature-importance scores of the 14 MPI +
+//! hardware features, per collective (Random Forest, full dataset).
+
+use pml_bench::{full_dataset, print_table, standard_train};
+use pml_collectives::Collective;
+use pml_core::{PretrainedModel, FEATURE_NAMES};
+
+fn main() {
+    for (fig, coll) in [(5, Collective::Allgather), (6, Collective::Alltoall)] {
+        let records = full_dataset(coll);
+        let model = PretrainedModel::train(&records, coll, &standard_train());
+        let mut scored: Vec<(usize, f64)> = model
+            .full_importances()
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let rows: Vec<Vec<String>> = scored
+            .iter()
+            .map(|&(i, s)| {
+                let selected = if model.selected_features().contains(&i) {
+                    "top-5 *"
+                } else {
+                    ""
+                };
+                vec![
+                    FEATURE_NAMES[i].to_string(),
+                    format!("{s:.4}"),
+                    selected.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Fig. {fig} — feature importance, {coll} ({} records)",
+                records.len()
+            ),
+            &["feature", "gini importance", "selected"],
+            &rows,
+        );
+    }
+}

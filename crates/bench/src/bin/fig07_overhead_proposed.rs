@@ -1,0 +1,64 @@
+//! Fig. 7: Fig. 1's core-hour comparison extended with the proposed
+//! framework — whose overhead is a single-process model inference,
+//! constant in node count.
+
+use pml_bench::{cached_model_excluding, cluster, full_dataset, print_table};
+use pml_collectives::Collective;
+use pml_core::overhead;
+
+fn main() {
+    let frontera = cluster("Frontera");
+    let ppn = 56;
+    // The shipped model must not have seen Frontera (it is the "new"
+    // cluster whose tables are being generated).
+    let records = full_dataset(Collective::Allgather);
+    let model = cached_model_excluding(Collective::Allgather, &["Frontera"], &records);
+    let inference_s = overhead::measure_inference_seconds(&model, frontera);
+    println!(
+        "tuning-table inference time on Frontera grid: {:.4} s (one process)",
+        inference_s
+    );
+
+    let rows: Vec<Vec<String>> = [1u32, 2, 4, 8, 16, 32, 128]
+        .iter()
+        .map(|&n| {
+            let mb = if n <= 16 {
+                format!(
+                    "{:.3e}",
+                    overhead::microbench_core_hours_cumulative(
+                        frontera,
+                        Collective::Allgather,
+                        n,
+                        ppn
+                    )
+                )
+            } else {
+                "(see fig01 extrapolation)".to_string()
+            };
+            vec![
+                n.to_string(),
+                mb,
+                format!("{:.3e}", overhead::acclaim_core_hours(n, ppn)),
+                format!("{:.3e}", overhead::proposed_core_hours(inference_s)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7 — core-hours incl. the proposed framework (Frontera, PPN=56)",
+        &[
+            "nodes",
+            "offline-microbench",
+            "ACCLAiM (lower bound)",
+            "proposed",
+        ],
+        &rows,
+    );
+    let mb32 = overhead::microbench_core_hours_cumulative(frontera, Collective::Allgather, 16, ppn);
+    let prop = overhead::proposed_core_hours(inference_s);
+    println!("\nspeedup vs microbench@16 nodes: {:.1e}x", mb32 / prop);
+    println!(
+        "speedup vs ACCLAiM@128 nodes:   {:.1e}x",
+        overhead::acclaim_core_hours(128, ppn) / prop
+    );
+    println!("(paper: ~1e6x vs microbench@32, ~1e4x vs ACCLAiM@128)");
+}

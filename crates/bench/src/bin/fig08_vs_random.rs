@@ -1,0 +1,71 @@
+//! Fig. 8: normalized runtime of the proposed selector vs random algorithm
+//! selection on Frontera, 16 nodes × 56 PPN, both collectives.
+
+use pml_bench::*;
+use pml_collectives::Collective;
+use pml_core::{AlgorithmSelector, MlSelector, RandomSelector};
+
+fn main() {
+    let frontera = cluster("Frontera");
+    let ag = full_dataset(Collective::Allgather);
+    let aa = full_dataset(Collective::Alltoall);
+    let ml = MlSelector::new(
+        frontera.spec.node.clone(),
+        Some(cached_model_excluding(
+            Collective::Allgather,
+            &["Frontera", "MRI"],
+            &ag,
+        )),
+        Some(cached_model_excluding(
+            Collective::Alltoall,
+            &["Frontera", "MRI"],
+            &aa,
+        )),
+    );
+    let random = RandomSelector::new(2024);
+    let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &random];
+    for coll in [Collective::Allgather, Collective::Alltoall] {
+        let sizes = msg_sweep(20);
+        let rows = compare_selectors(frontera, coll, 16, 56, &sizes, &selectors);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let (ref _n0, ref a0, t0) = r.outcomes[0];
+                let (ref _n1, ref a1, t1) = r.outcomes[1];
+                vec![
+                    r.msg_size.to_string(),
+                    a0.clone(),
+                    us(t0),
+                    a1.clone(),
+                    us(t1),
+                    format!("{:.2}x", t1 / t0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 8 — {coll}, Frontera 16x56: proposed vs random"),
+            &[
+                "msg(B)",
+                "proposed algo",
+                "us",
+                "random algo",
+                "us",
+                "random/proposed",
+            ],
+            &table,
+        );
+        println!(
+            "geomean slowdown of random: {:.2}x",
+            geomean_speedup(&rows, 1)
+        );
+        let worst = rows
+            .iter()
+            .map(|r| (r.msg_size, r.outcomes[1].2 / r.outcomes[0].2))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!(
+            "max slowdown of random: {:.2}x at {} B (paper: up to 15.5x/8.3x)",
+            worst.1, worst.0
+        );
+    }
+}

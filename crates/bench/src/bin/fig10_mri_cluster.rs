@@ -1,0 +1,58 @@
+//! Fig. 10: proposed vs MVAPICH2-2.3.7 default on MRI (cluster-based:
+//! Frontera and MRI excluded from training), 8 nodes at PPN 128 (full) and
+//! 64 (half subscription), both collectives.
+
+use pml_bench::*;
+use pml_collectives::Collective;
+use pml_core::{AlgorithmSelector, MlSelector, MvapichDefault};
+
+fn main() {
+    let mri = cluster("MRI");
+    let ag = full_dataset(Collective::Allgather);
+    let aa = full_dataset(Collective::Alltoall);
+    let ml = MlSelector::new(
+        mri.spec.node.clone(),
+        Some(cached_model_excluding(
+            Collective::Allgather,
+            &["Frontera", "MRI"],
+            &ag,
+        )),
+        Some(cached_model_excluding(
+            Collective::Alltoall,
+            &["Frontera", "MRI"],
+            &aa,
+        )),
+    );
+    let default = MvapichDefault;
+    let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &default];
+    for ppn in [128u32, 64] {
+        for coll in [Collective::Allgather, Collective::Alltoall] {
+            let sizes = msg_sweep(15); // MRI grid tops out at 32 KiB
+            let rows = compare_selectors(mri, coll, 8, ppn, &sizes, &selectors);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    let t0 = r.outcomes[0].2;
+                    let t1 = r.outcomes[1].2;
+                    vec![
+                        r.msg_size.to_string(),
+                        r.outcomes[0].1.clone(),
+                        us(t0),
+                        r.outcomes[1].1.clone(),
+                        us(t1),
+                        pct(t1 / t0),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("Fig. 10 — {coll}, MRI 8x{ppn}: proposed vs MVAPICH default"),
+                &["msg(B)", "proposed", "us", "mvapich", "us", "speedup"],
+                &table,
+            );
+            println!(
+                "geomean speedup over default: {}",
+                pct(geomean_speedup(&rows, 1))
+            );
+        }
+    }
+}

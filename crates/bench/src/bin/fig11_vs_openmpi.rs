@@ -1,0 +1,64 @@
+//! Fig. 11: proposed vs Open MPI 5.1.0a default decision rules on TACC
+//! Frontera at 16 nodes × 56 PPN (full subscription), both collectives.
+
+use pml_bench::*;
+use pml_collectives::Collective;
+use pml_core::{AlgorithmSelector, MlSelector, OpenMpiDefault};
+
+fn main() {
+    let frontera = cluster("Frontera");
+    let ag = full_dataset(Collective::Allgather);
+    let aa = full_dataset(Collective::Alltoall);
+    let ml = MlSelector::new(
+        frontera.spec.node.clone(),
+        Some(cached_model_excluding(
+            Collective::Allgather,
+            &["Frontera", "MRI"],
+            &ag,
+        )),
+        Some(cached_model_excluding(
+            Collective::Alltoall,
+            &["Frontera", "MRI"],
+            &aa,
+        )),
+    );
+    let ompi = OpenMpiDefault;
+    let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &ompi];
+    for coll in [Collective::Allgather, Collective::Alltoall] {
+        let sizes = msg_sweep(20);
+        let rows = compare_selectors(frontera, coll, 16, 56, &sizes, &selectors);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let t0 = r.outcomes[0].2;
+                let t1 = r.outcomes[1].2;
+                vec![
+                    r.msg_size.to_string(),
+                    r.outcomes[0].1.clone(),
+                    us(t0),
+                    r.outcomes[1].1.clone(),
+                    us(t1),
+                    pct(t1 / t0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 11 — {coll}, Frontera 16x56: proposed vs Open MPI default"),
+            &["msg(B)", "proposed", "us", "openmpi", "us", "speedup"],
+            &table,
+        );
+        println!(
+            "geomean speedup over Open MPI: {}",
+            pct(geomean_speedup(&rows, 1))
+        );
+        let large: Vec<String> = rows
+            .iter()
+            .filter(|r| r.msg_size >= 4096)
+            .map(|r| format!("{}B:{}", r.msg_size, pct(r.outcomes[1].2 / r.outcomes[0].2)))
+            .collect();
+        println!(
+            ">=4 KiB speedups: {} (paper: 36-58% wins beyond 4k)",
+            large.join(" ")
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 12: node-based scaling. The model is trained only on records with
+//! small node counts and evaluated at a larger one it never saw:
+//! MRI (train #nodes ≤ 4, test 8 nodes × PPN 56-equivalent = 64) and
+//! Frontera (train #nodes ≤ 8, test 16 nodes × PPN 56), vs the MVAPICH
+//! default.
+
+use pml_bench::*;
+use pml_collectives::Collective;
+use pml_core::{AlgorithmSelector, MlSelector, MvapichDefault, PretrainedModel};
+
+fn node_limited_model(coll: Collective, max_nodes: u32) -> PretrainedModel {
+    let records = full_dataset(coll);
+    let (train, _) = pml_clusters::node_split(&records, max_nodes);
+    PretrainedModel::train(&train, coll, &standard_train())
+}
+
+fn main() {
+    // (cluster, max train nodes, test nodes, test ppn)
+    let cases = [("MRI", 4u32, 8u32, 128u32), ("Frontera", 8, 16, 56)];
+    for (name, max_train, test_nodes, ppn) in cases {
+        let entry = cluster(name);
+        let ml = MlSelector::new(
+            entry.spec.node.clone(),
+            Some(node_limited_model(Collective::Allgather, max_train)),
+            Some(node_limited_model(Collective::Alltoall, max_train)),
+        );
+        let default = MvapichDefault;
+        let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &default];
+        for coll in [Collective::Allgather, Collective::Alltoall] {
+            let sizes = msg_sweep(if name == "MRI" { 15 } else { 20 });
+            let rows = compare_selectors(entry, coll, test_nodes, ppn, &sizes, &selectors);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    let t0 = r.outcomes[0].2;
+                    let t1 = r.outcomes[1].2;
+                    vec![
+                        r.msg_size.to_string(),
+                        r.outcomes[0].1.clone(),
+                        us(t0),
+                        r.outcomes[1].1.clone(),
+                        us(t1),
+                        pct(t1 / t0),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!(
+                    "Fig. 12 — {coll}, {name} {test_nodes}x{ppn} (trained on nodes<={max_train}) vs MVAPICH default"
+                ),
+                &["msg(B)", "proposed", "us", "mvapich", "us", "speedup"],
+                &table,
+            );
+            println!(
+                "geomean speedup over default: {}",
+                pct(geomean_speedup(&rows, 1))
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Table III: Random Forest classification accuracy under the three
+//! train/test split methodologies (random 70/30, leave-clusters-out,
+//! train-small-test-large node counts).
+
+use pml_bench::{full_dataset, print_table, standard_train};
+use pml_clusters::{cluster_split_auto, node_split, random_split};
+use pml_collectives::Collective;
+use pml_core::{records_to_dataset, PretrainedModel};
+use pml_mlcore::metrics::accuracy;
+
+fn eval(
+    train: &[pml_clusters::TuningRecord],
+    test: &[pml_clusters::TuningRecord],
+    coll: Collective,
+) -> f64 {
+    let model = PretrainedModel::train(train, coll, &standard_train());
+    let test_data = records_to_dataset(test, coll);
+    let pred = model.predict_dataset(&test_data);
+    accuracy(&test_data.y, &pred)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for coll in [Collective::Allgather, Collective::Alltoall] {
+        let records = full_dataset(coll);
+
+        let (tr, te) = random_split(&records, 0.7, 42);
+        let random_acc = eval(&tr, &te, coll);
+
+        let ((tr, te), held) = cluster_split_auto(&records, 0.7, 7);
+        eprintln!(
+            "{coll}: held-out clusters: {held:?} ({} test records)",
+            te.len()
+        );
+        let cluster_acc = eval(&tr, &te, coll);
+
+        // Train on small node counts, test on the largest (nodes > 8).
+        let (tr, te) = node_split(&records, 8);
+        eprintln!("{coll}: node split: {} train / {} test", tr.len(), te.len());
+        let node_acc = eval(&tr, &te, coll);
+
+        rows.push(vec![
+            coll.to_string(),
+            format!("{:.1}%", random_acc * 100.0),
+            format!("{:.1}%", cluster_acc * 100.0),
+            format!("{:.1}%", node_acc * 100.0),
+        ]);
+    }
+    print_table(
+        "Table III — classification accuracy by split methodology",
+        &["collective", "random", "cluster", "node"],
+        &rows,
+    );
+    println!("\n(paper: Allgather 88.8/84.4/79.8, Alltoall 89.9/82.7/86.7 —");
+    println!(" the target shape: random >= cluster, node; all well above chance)");
+}

@@ -1,0 +1,130 @@
+//! On-disk dataset cache.
+//!
+//! Generating the full Table I dataset means simulating every algorithm on
+//! every grid cell of 18 clusters — minutes of CPU. The paper's authors
+//! benchmarked once and reused the dataset; we do the same by caching the
+//! generated records as JSON keyed by the generation config and the zoo
+//! fingerprint, regenerating only when either changes.
+
+use crate::datagen::{generate_full, DatagenConfig};
+use crate::record::TuningRecord;
+use crate::zoo::ClusterEntry;
+use pml_collectives::Collective;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Bump when the simulator's cost model changes in ways that invalidate
+/// cached measurements.
+pub const CACHE_VERSION: u32 = 4;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheFile {
+    version: u32,
+    config: DatagenConfig,
+    collective: Collective,
+    /// Cheap zoo fingerprint: names and grid sizes.
+    zoo_fingerprint: Vec<(String, usize)>,
+    records: Vec<TuningRecord>,
+}
+
+fn fingerprint(clusters: &[ClusterEntry]) -> Vec<(String, usize)> {
+    clusters
+        .iter()
+        .map(|c| (c.name().to_string(), c.grid_size()))
+        .collect()
+}
+
+/// Load records from `path` if it matches (version, config, zoo); otherwise
+/// generate, write the cache, and return the fresh records. Returns
+/// (records, was_cached).
+pub fn load_or_generate(
+    path: &Path,
+    clusters: &[ClusterEntry],
+    collective: Collective,
+    cfg: &DatagenConfig,
+) -> (Vec<TuningRecord>, bool) {
+    let fp = fingerprint(clusters);
+    if let Ok(bytes) = std::fs::read(path) {
+        if let Ok(file) = serde_json::from_slice::<CacheFile>(&bytes) {
+            if file.version == CACHE_VERSION
+                && file.config == *cfg
+                && file.collective == collective
+                && file.zoo_fingerprint == fp
+            {
+                return (file.records, true);
+            }
+        }
+    }
+    let records = generate_full(clusters, collective, cfg);
+    let file = CacheFile {
+        version: CACHE_VERSION,
+        config: *cfg,
+        collective,
+        zoo_fingerprint: fp,
+        records: records.clone(),
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let json = serde_json::to_vec(&file).expect("cache serializes");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    (records, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn tiny() -> Vec<ClusterEntry> {
+        let mut e = zoo::by_name("RI").unwrap().clone();
+        e.msg_grid = vec![64, 1024];
+        vec![e]
+    }
+
+    #[test]
+    fn roundtrip_and_cache_hit() {
+        let dir = std::env::temp_dir().join(format!("pmlcache-{}", std::process::id()));
+        let path = dir.join("t.json");
+        let cfg = DatagenConfig::noiseless();
+        let clusters = tiny();
+        let (a, hit_a) = load_or_generate(&path, &clusters, Collective::Allgather, &cfg);
+        assert!(!hit_a);
+        let (b, hit_b) = load_or_generate(&path, &clusters, Collective::Allgather, &cfg);
+        assert!(hit_b);
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_change_invalidates() {
+        let dir = std::env::temp_dir().join(format!("pmlcache2-{}", std::process::id()));
+        let path = dir.join("t.json");
+        let clusters = tiny();
+        let (_, _) = load_or_generate(
+            &path,
+            &clusters,
+            Collective::Allgather,
+            &DatagenConfig::noiseless(),
+        );
+        let other = DatagenConfig {
+            seed: 99,
+            ..DatagenConfig::noiseless()
+        };
+        let (_, hit) = load_or_generate(&path, &clusters, Collective::Allgather, &other);
+        assert!(!hit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn collective_mismatch_invalidates() {
+        let dir = std::env::temp_dir().join(format!("pmlcache3-{}", std::process::id()));
+        let path = dir.join("t.json");
+        let clusters = tiny();
+        let cfg = DatagenConfig::noiseless();
+        load_or_generate(&path, &clusters, Collective::Allgather, &cfg);
+        let (_, hit) = load_or_generate(&path, &clusters, Collective::Alltoall, &cfg);
+        assert!(!hit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

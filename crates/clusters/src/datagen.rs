@@ -1,0 +1,298 @@
+//! Tuning-dataset generation: the simulated counterpart of running the
+//! OSU micro-benchmarks over every grid cell of every cluster (Table I).
+//!
+//! Every (cluster, collective, #nodes, PPN, message size) cell is measured
+//! by executing each applicable algorithm's schedule in virtual time,
+//! perturbed by the noise model and averaged over `iters` iterations —
+//! exactly the paper's protocol for absorbing dynamic network conditions.
+//! Cells are independent, so generation fans out over rayon.
+
+use crate::record::TuningRecord;
+use crate::zoo::ClusterEntry;
+use pml_collectives::{
+    measure, measure_noisy, measure_sweep, Algorithm, Collective, MeasureConfig,
+};
+use pml_simnet::{JobLayout, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Dataset-generation settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatagenConfig {
+    pub noise: NoiseModel,
+    /// Benchmark iterations averaged per measurement.
+    pub iters: u32,
+    /// Master seed; every cell derives its own RNG from it, so results are
+    /// reproducible and order-independent.
+    pub seed: u64,
+}
+
+impl Default for DatagenConfig {
+    fn default() -> Self {
+        DatagenConfig {
+            noise: NoiseModel::typical(),
+            iters: 3,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl DatagenConfig {
+    /// Noise-free, single-iteration generation (for oracle tables and fast
+    /// tests).
+    pub fn noiseless() -> Self {
+        DatagenConfig {
+            noise: NoiseModel::disabled(),
+            iters: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// FNV-1a, used to give every grid cell an independent deterministic seed.
+fn cell_seed(master: u64, cluster: &str, collective: Collective, n: u32, p: u32, m: usize) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ master;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(cluster.as_bytes());
+    eat(&[collective as u8]);
+    eat(&n.to_le_bytes());
+    eat(&p.to_le_bytes());
+    eat(&m.to_le_bytes());
+    h
+}
+
+/// Measure one grid cell: every applicable algorithm, averaged noisy
+/// runtimes, sorted fastest first.
+pub fn measure_cell(
+    entry: &ClusterEntry,
+    collective: Collective,
+    nodes: u32,
+    ppn: u32,
+    msg_size: usize,
+    cfg: &DatagenConfig,
+) -> TuningRecord {
+    let layout = JobLayout::new(nodes, ppn);
+    let mcfg = MeasureConfig { layout, msg_size };
+    let world = layout.world_size();
+    let mut rng = StdRng::seed_from_u64(cell_seed(
+        cfg.seed,
+        entry.name(),
+        collective,
+        nodes,
+        ppn,
+        msg_size,
+    ));
+    let mut runtimes: Vec<(Algorithm, f64)> = Algorithm::applicable_for(collective, world)
+        .into_iter()
+        .map(|a| {
+            let t = if cfg.noise.is_disabled() && cfg.iters == 1 {
+                measure(a, &entry.spec.node, mcfg)
+            } else {
+                measure_noisy(a, &entry.spec.node, mcfg, &cfg.noise, cfg.iters, &mut rng)
+            };
+            (a, t)
+        })
+        .collect();
+    runtimes.sort_by(|a, b| a.1.total_cmp(&b.1));
+    TuningRecord {
+        cluster: entry.name().to_string(),
+        collective,
+        nodes,
+        ppn,
+        msg_size,
+        best: runtimes[0].0,
+        runtimes,
+    }
+}
+
+/// All grid cells of one cluster for one collective, in deterministic grid
+/// order (nodes-major), measured in parallel.
+///
+/// Job shapes fan out over rayon; within a shape, every algorithm's
+/// schedule is generated once and re-simulated across the message-size
+/// sweep (`measure_sweep`), then per-cell noise is applied exactly as
+/// [`measure_cell`] would — the two paths produce identical records, which
+/// the tests assert.
+pub fn generate_cluster(
+    entry: &ClusterEntry,
+    collective: Collective,
+    cfg: &DatagenConfig,
+) -> Vec<TuningRecord> {
+    let shapes: Vec<(u32, u32)> = entry
+        .node_grid
+        .iter()
+        .flat_map(|&n| entry.ppn_grid.iter().map(move |&p| (n, p)))
+        .collect();
+    shapes
+        .into_par_iter()
+        .flat_map_iter(|(n, p)| {
+            let bases = measure_sweep(
+                collective,
+                &entry.spec.node,
+                JobLayout::new(n, p),
+                &entry.msg_grid,
+            );
+            bases
+                .into_iter()
+                .zip(entry.msg_grid.clone())
+                .map(move |(base, m)| finish_cell(entry, collective, n, p, m, base, cfg))
+        })
+        .collect()
+}
+
+/// Apply the per-cell noise protocol to noise-free base runtimes and build
+/// the record. Must sample noise in the same (registry) order as
+/// `measure_cell` so both paths agree bit-for-bit.
+fn finish_cell(
+    entry: &ClusterEntry,
+    collective: Collective,
+    nodes: u32,
+    ppn: u32,
+    msg_size: usize,
+    base: Vec<(Algorithm, f64)>,
+    cfg: &DatagenConfig,
+) -> TuningRecord {
+    let mut rng = StdRng::seed_from_u64(cell_seed(
+        cfg.seed,
+        entry.name(),
+        collective,
+        nodes,
+        ppn,
+        msg_size,
+    ));
+    let mut runtimes: Vec<(Algorithm, f64)> = base
+        .into_iter()
+        .map(|(a, t)| {
+            let avg = if cfg.noise.is_disabled() && cfg.iters == 1 {
+                t
+            } else {
+                let mut acc = 0.0;
+                for _ in 0..cfg.iters {
+                    acc += t * cfg.noise.sample(&mut rng);
+                }
+                acc / cfg.iters as f64
+            };
+            (a, avg)
+        })
+        .collect();
+    runtimes.sort_by(|a, b| a.1.total_cmp(&b.1));
+    TuningRecord {
+        cluster: entry.name().to_string(),
+        collective,
+        nodes,
+        ppn,
+        msg_size,
+        best: runtimes[0].0,
+        runtimes,
+    }
+}
+
+/// The full Table I dataset for one collective: every cluster's grid.
+pub fn generate_full(
+    clusters: &[ClusterEntry],
+    collective: Collective,
+    cfg: &DatagenConfig,
+) -> Vec<TuningRecord> {
+    clusters
+        .iter()
+        .flat_map(|c| generate_cluster(c, collective, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn small_entry() -> ClusterEntry {
+        let mut e = zoo::by_name("RI2").unwrap().clone();
+        e.node_grid = vec![1, 2];
+        e.ppn_grid = vec![2, 4];
+        e.msg_grid = vec![64, 4096];
+        e
+    }
+
+    #[test]
+    fn cell_measures_all_applicable_algorithms() {
+        let e = small_entry();
+        let r = measure_cell(
+            &e,
+            Collective::Alltoall,
+            2,
+            4,
+            64,
+            &DatagenConfig::noiseless(),
+        );
+        assert_eq!(r.runtimes.len(), 5); // 8 ranks: power of two, all apply
+        assert_eq!(r.best, r.runtimes[0].0);
+        for w in r.runtimes.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let e = small_entry();
+        let cfg = DatagenConfig::default();
+        let a = generate_cluster(&e, Collective::Allgather, &cfg);
+        let b = generate_cluster(&e, Collective::Allgather, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_order_and_count() {
+        let e = small_entry();
+        let recs = generate_cluster(&e, Collective::Allgather, &DatagenConfig::noiseless());
+        assert_eq!(recs.len(), e.grid_size());
+        assert_eq!((recs[0].nodes, recs[0].ppn, recs[0].msg_size), (1, 2, 64));
+        assert_eq!((recs[3].nodes, recs[3].ppn, recs[3].msg_size), (1, 4, 4096));
+    }
+
+    #[test]
+    fn sweep_path_matches_cell_path() {
+        let e = small_entry();
+        let cfg = DatagenConfig::default();
+        for coll in [Collective::Allgather, Collective::Alltoall] {
+            let recs = generate_cluster(&e, coll, &cfg);
+            for r in &recs {
+                let direct = measure_cell(&e, coll, r.nodes, r.ppn, r.msg_size, &cfg);
+                assert_eq!(
+                    r.best,
+                    direct.best,
+                    "{coll} {:?}",
+                    (r.nodes, r.ppn, r.msg_size)
+                );
+                for ((a1, t1), (a2, t2)) in r.runtimes.iter().zip(&direct.runtimes) {
+                    assert_eq!(a1, a2);
+                    assert!((t1 - t2).abs() <= t2.abs() * 1e-9, "{t1} vs {t2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_changes_measurements_but_not_determinism() {
+        let e = small_entry();
+        let noisy = DatagenConfig {
+            noise: pml_simnet::NoiseModel::new(0.2),
+            iters: 2,
+            seed: 1,
+        };
+        let clean = DatagenConfig::noiseless();
+        let rn = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &noisy);
+        let rc = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &clean);
+        let tn = rn.runtime_of(rc.best).unwrap();
+        let tc = rc.best_runtime();
+        assert_ne!(tn, tc);
+        // Same seed, same result.
+        let rn2 = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &noisy);
+        assert_eq!(rn, rn2);
+    }
+}

@@ -1,0 +1,91 @@
+//! One row of the tuning dataset.
+
+use pml_collectives::{Algorithm, Collective};
+use serde::{Deserialize, Serialize};
+
+/// One benchmarked grid cell: every applicable algorithm's (averaged)
+/// runtime at a (cluster, collective, #nodes, PPN, message size) point,
+/// plus the winner — the classification label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningRecord {
+    pub cluster: String,
+    pub collective: Collective,
+    pub nodes: u32,
+    pub ppn: u32,
+    pub msg_size: usize,
+    /// Fastest algorithm (the ML label).
+    pub best: Algorithm,
+    /// (algorithm, averaged runtime in seconds) for every applicable
+    /// algorithm, sorted fastest first.
+    pub runtimes: Vec<(Algorithm, f64)>,
+}
+
+impl TuningRecord {
+    /// Total ranks of the job.
+    pub fn world_size(&self) -> u32 {
+        self.nodes * self.ppn
+    }
+
+    /// Runtime of a given algorithm, if it was applicable.
+    pub fn runtime_of(&self, algo: Algorithm) -> Option<f64> {
+        self.runtimes
+            .iter()
+            .find(|(a, _)| *a == algo)
+            .map(|(_, t)| *t)
+    }
+
+    /// Runtime of the winner.
+    pub fn best_runtime(&self) -> f64 {
+        self.runtimes
+            .first()
+            .map(|(_, t)| *t)
+            .expect("record has runtimes")
+    }
+
+    /// How much slower `algo` is than the winner (1.0 = optimal). `None`
+    /// if the algorithm was inapplicable or the cell is degenerate (a
+    /// single-rank no-op whose best runtime is zero).
+    pub fn slowdown_of(&self, algo: Algorithm) -> Option<f64> {
+        let best = self.best_runtime();
+        if best <= 0.0 {
+            return None;
+        }
+        self.runtime_of(algo).map(|t| t / best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_collectives::AlltoallAlgo;
+
+    fn record() -> TuningRecord {
+        TuningRecord {
+            cluster: "X".into(),
+            collective: Collective::Alltoall,
+            nodes: 2,
+            ppn: 8,
+            msg_size: 1024,
+            best: Algorithm::Alltoall(AlltoallAlgo::Bruck),
+            runtimes: vec![
+                (Algorithm::Alltoall(AlltoallAlgo::Bruck), 1.0e-6),
+                (Algorithm::Alltoall(AlltoallAlgo::Pairwise), 4.0e-6),
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = record();
+        assert_eq!(r.world_size(), 16);
+        assert_eq!(r.best_runtime(), 1.0e-6);
+        assert_eq!(
+            r.slowdown_of(Algorithm::Alltoall(AlltoallAlgo::Pairwise)),
+            Some(4.0)
+        );
+        assert_eq!(
+            r.runtime_of(Algorithm::Alltoall(AlltoallAlgo::Inplace)),
+            None
+        );
+    }
+}

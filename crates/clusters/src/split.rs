@@ -1,0 +1,140 @@
+//! The paper's three train/test split methodologies (§V-D):
+//!
+//! * **random** — conventional shuffled 70/30;
+//! * **cluster** — hold out whole clusters, testing generalization to
+//!   machines the model has never seen (the headline capability);
+//! * **node** — train on small node counts, test on larger ones, testing
+//!   scalability of the learned tuning strategy.
+
+use crate::record::TuningRecord;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// A (train, test) partition of records, by value.
+pub type Split = (Vec<TuningRecord>, Vec<TuningRecord>);
+
+/// Shuffled random split; `train_fraction` of records train.
+pub fn random_split(records: &[TuningRecord], train_fraction: f64, seed: u64) -> Split {
+    assert!((0.0..=1.0).contains(&train_fraction));
+    let mut idx: Vec<usize> = (0..records.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_train = ((records.len() as f64) * train_fraction).round() as usize;
+    let (tr, te) = idx.split_at(n_train.min(records.len()));
+    (
+        tr.iter().map(|&i| records[i].clone()).collect(),
+        te.iter().map(|&i| records[i].clone()).collect(),
+    )
+}
+
+/// Hold out the named clusters as the test set.
+pub fn cluster_split(records: &[TuningRecord], test_clusters: &[&str]) -> Split {
+    let test_set: BTreeSet<&str> = test_clusters.iter().copied().collect();
+    let (test, train): (Vec<_>, Vec<_>) = records
+        .iter()
+        .cloned()
+        .partition(|r| test_set.contains(r.cluster.as_str()));
+    (train, test)
+}
+
+/// Pick whole clusters at random until roughly `1 − train_fraction` of the
+/// records are held out, then split on them. Returns the split and the
+/// held-out cluster names.
+pub fn cluster_split_auto(
+    records: &[TuningRecord],
+    train_fraction: f64,
+    seed: u64,
+) -> (Split, Vec<String>) {
+    let mut names: Vec<String> = {
+        let set: BTreeSet<&str> = records.iter().map(|r| r.cluster.as_str()).collect();
+        set.into_iter().map(String::from).collect()
+    };
+    names.shuffle(&mut StdRng::seed_from_u64(seed));
+    let target_test = records.len() as f64 * (1.0 - train_fraction);
+    let mut held = Vec::new();
+    let mut held_records = 0usize;
+    for name in names {
+        if held_records as f64 >= target_test {
+            break;
+        }
+        held_records += records.iter().filter(|r| r.cluster == name).count();
+        held.push(name);
+    }
+    let refs: Vec<&str> = held.iter().map(String::as_str).collect();
+    (cluster_split(records, &refs), held)
+}
+
+/// Train on records with `nodes <= max_train_nodes`, test on the rest.
+pub fn node_split(records: &[TuningRecord], max_train_nodes: u32) -> Split {
+    let (train, test): (Vec<_>, Vec<_>) = records
+        .iter()
+        .cloned()
+        .partition(|r| r.nodes <= max_train_nodes);
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_collectives::{Algorithm, AllgatherAlgo, Collective};
+
+    fn rec(cluster: &str, nodes: u32) -> TuningRecord {
+        TuningRecord {
+            cluster: cluster.into(),
+            collective: Collective::Allgather,
+            nodes,
+            ppn: 4,
+            msg_size: 64,
+            best: Algorithm::Allgather(AllgatherAlgo::Ring),
+            runtimes: vec![(Algorithm::Allgather(AllgatherAlgo::Ring), 1e-6)],
+        }
+    }
+
+    fn sample() -> Vec<TuningRecord> {
+        let mut v = Vec::new();
+        for c in ["A", "B", "C", "D"] {
+            for n in [1, 2, 4, 8] {
+                for _ in 0..5 {
+                    v.push(rec(c, n));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn random_split_sizes() {
+        let recs = sample();
+        let (tr, te) = random_split(&recs, 0.7, 1);
+        assert_eq!(tr.len(), 56);
+        assert_eq!(te.len(), 24);
+    }
+
+    #[test]
+    fn cluster_split_is_clean() {
+        let recs = sample();
+        let (tr, te) = cluster_split(&recs, &["B"]);
+        assert!(tr.iter().all(|r| r.cluster != "B"));
+        assert!(te.iter().all(|r| r.cluster == "B"));
+        assert_eq!(tr.len() + te.len(), recs.len());
+    }
+
+    #[test]
+    fn cluster_split_auto_hits_fraction() {
+        let recs = sample();
+        let ((tr, te), held) = cluster_split_auto(&recs, 0.75, 3);
+        assert_eq!(held.len(), 1); // 25% of 4 uniform clusters
+        assert_eq!(te.len(), 20);
+        assert_eq!(tr.len(), 60);
+    }
+
+    #[test]
+    fn node_split_thresholds() {
+        let recs = sample();
+        let (tr, te) = node_split(&recs, 4);
+        assert!(tr.iter().all(|r| r.nodes <= 4));
+        assert!(te.iter().all(|r| r.nodes == 8));
+        assert_eq!(te.len(), 20);
+    }
+}

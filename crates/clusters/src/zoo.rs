@@ -1,0 +1,534 @@
+//! The 18-cluster zoo of Table I.
+//!
+//! Each entry reproduces a row of the paper's dataset-overview table: the
+//! processor and interconnect of the machine plus the (#nodes, PPN,
+//! message-size) grid benchmarked on it. Hardware numbers (max turbo clock,
+//! node L3, STREAM-class memory bandwidth, core/thread/socket/NUMA counts,
+//! PCIe attachment) are taken from the public spec sheets of the listed
+//! parts; they are the *features* the classifier learns from, so fidelity
+//! here is what makes the reproduction's feature space match the paper's.
+
+use pml_simnet::{
+    ClusterSpec, CpuFamily, CpuSpec, HcaGeneration, InterconnectSpec, NodeSpec, PcieVersion,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// One Table I row: a cluster plus the benchmark grid used on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEntry {
+    pub spec: ClusterSpec,
+    /// Distinct node counts benchmarked (the table's `#nodes` is this
+    /// list's length).
+    pub node_grid: Vec<u32>,
+    /// Distinct processes-per-node values (`#ppn` is the length).
+    pub ppn_grid: Vec<u32>,
+    /// Distinct message sizes in bytes (`#msg size` is the length).
+    pub msg_grid: Vec<usize>,
+}
+
+impl ClusterEntry {
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Total grid cells = node_grid × ppn_grid × msg_grid.
+    pub fn grid_size(&self) -> usize {
+        self.node_grid.len() * self.ppn_grid.len() * self.msg_grid.len()
+    }
+}
+
+/// Message sizes 2⁰ … 2^(n−1) bytes.
+fn msg_sizes(n: usize) -> Vec<usize> {
+    (0..n).map(|i| 1usize << i).collect()
+}
+
+/// Node counts 1, 2, 4, … (n entries).
+fn pow2_nodes(n: usize) -> Vec<u32> {
+    (0..n).map(|i| 1u32 << i).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cluster(
+    name: &str,
+    cpu_model: &str,
+    family: CpuFamily,
+    max_clock_ghz: f64,
+    l3_cache_mib: f64,
+    mem_bw_gbs: f64,
+    cores: u32,
+    threads: u32,
+    sockets: u32,
+    numa_nodes: u32,
+    gen: HcaGeneration,
+    pcie: PcieVersion,
+    num_nodes: u32,
+    node_grid: Vec<u32>,
+    ppn_grid: Vec<u32>,
+    n_msg: usize,
+) -> ClusterEntry {
+    ClusterEntry {
+        spec: ClusterSpec {
+            name: name.to_string(),
+            node: NodeSpec {
+                cpu: CpuSpec {
+                    model: cpu_model.to_string(),
+                    family,
+                    max_clock_ghz,
+                    l3_cache_mib,
+                    mem_bw_gbs,
+                    cores,
+                    threads,
+                    sockets,
+                    numa_nodes,
+                },
+                nic: InterconnectSpec::new(gen, pcie),
+            },
+            num_nodes,
+        },
+        node_grid,
+        ppn_grid,
+        msg_grid: msg_sizes(n_msg),
+    }
+}
+
+fn build_zoo() -> Vec<ClusterEntry> {
+    use CpuFamily::*;
+    use HcaGeneration::*;
+    use PcieVersion::*;
+    vec![
+        // name, cpu, family, clock, L3 MiB, mem GB/s, cores, threads,
+        // sockets, numa, fabric, pcie, #machine nodes, node grid, ppn grid,
+        // #msg sizes — grid lengths follow Table I.
+        cluster(
+            "RI2",
+            "Intel Xeon CPU E5-2680 v4 @ 2.40GHz",
+            IntelXeon,
+            3.3,
+            70.0,
+            153.0,
+            28,
+            56,
+            2,
+            2,
+            Edr,
+            Gen3,
+            20,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 16, 28],
+            21,
+        ),
+        cluster(
+            "RI",
+            "Intel Xeon CPU E5630 @ 2.53GHz",
+            IntelXeon,
+            2.8,
+            24.0,
+            51.0,
+            8,
+            16,
+            2,
+            2,
+            Qdr,
+            Gen3,
+            8,
+            vec![2],
+            vec![4, 8],
+            21,
+        ),
+        cluster(
+            "Haswell",
+            "Intel Xeon CPU E5-2687W v3",
+            IntelXeon,
+            3.5,
+            50.0,
+            136.0,
+            20,
+            40,
+            2,
+            2,
+            Hdr,
+            Gen3,
+            8,
+            vec![1, 2, 4],
+            vec![1, 2, 4, 8, 16, 20],
+            21,
+        ),
+        cluster(
+            "Catalyst",
+            "FUJITSU A64FX",
+            ArmA64fx,
+            2.2,
+            32.0,
+            1024.0,
+            48,
+            48,
+            1,
+            4,
+            Edr,
+            Gen3,
+            16,
+            pow2_nodes(4),
+            vec![1, 4, 8, 16, 32, 48],
+            21,
+        ),
+        cluster(
+            "Spock",
+            "AMD EPYC 7763 64-Core",
+            AmdEpyc,
+            3.5,
+            256.0,
+            205.0,
+            64,
+            128,
+            1,
+            4,
+            Hdr,
+            Gen4,
+            16,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 16, 32, 48, 64],
+            21,
+        ),
+        cluster(
+            "Rome",
+            "AMD EPYC 7601 32-Core",
+            AmdEpyc,
+            3.2,
+            128.0,
+            341.0,
+            64,
+            128,
+            2,
+            8,
+            Edr,
+            Gen3,
+            16,
+            pow2_nodes(4),
+            vec![1, 2, 4, 8, 16, 24, 32, 48, 64, 96],
+            21,
+        ),
+        cluster(
+            "Frontera",
+            "Intel Xeon Platinum 8280 CPU @ 2.70GHz",
+            IntelXeon,
+            4.0,
+            77.0,
+            220.0,
+            56,
+            56,
+            2,
+            2,
+            Edr,
+            Gen3,
+            8192,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 16, 28, 32, 56],
+            21,
+        ),
+        cluster(
+            "LLNL",
+            "AMD EPYC 7401 48-Core",
+            AmdEpyc,
+            3.0,
+            128.0,
+            341.0,
+            48,
+            96,
+            2,
+            8,
+            Edr,
+            Gen3,
+            32,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 24, 48],
+            21,
+        ),
+        cluster(
+            "Frontera RTX",
+            "Intel Xeon CPU E5-2620 v4 @ 2.10GHz",
+            IntelXeon,
+            3.0,
+            40.0,
+            137.0,
+            16,
+            32,
+            2,
+            2,
+            Fdr,
+            Gen3,
+            16,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 16],
+            21,
+        ),
+        cluster(
+            "Hartree",
+            "Cavium ThunderX2 CN9975",
+            ArmThunderX2,
+            2.5,
+            64.0,
+            317.0,
+            56,
+            224,
+            2,
+            2,
+            Fdr,
+            Gen3,
+            8,
+            vec![1, 2, 4],
+            vec![1, 4, 16, 28, 56],
+            21,
+        ),
+        cluster(
+            "Mayer",
+            "Cavium ThunderX2 CN9975",
+            ArmThunderX2,
+            2.5,
+            64.0,
+            317.0,
+            56,
+            224,
+            2,
+            2,
+            Edr,
+            Gen3,
+            16,
+            pow2_nodes(4),
+            vec![1, 2, 4, 8, 16, 32, 56],
+            21,
+        ),
+        cluster(
+            "Ray",
+            "IBM POWER8 S822LC",
+            IbmPower8,
+            4.0,
+            160.0,
+            230.0,
+            20,
+            160,
+            2,
+            2,
+            Edr,
+            Gen3,
+            8,
+            pow2_nodes(4),
+            vec![1, 10, 20],
+            21,
+        ),
+        cluster(
+            "Sierra",
+            "IBM POWER9 AC922",
+            IbmPower9,
+            3.8,
+            240.0,
+            341.0,
+            44,
+            176,
+            2,
+            2,
+            Edr,
+            Gen4,
+            64,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 16, 22, 32, 44],
+            21,
+        ),
+        cluster(
+            "Bridges",
+            "Intel Xeon CPU E5-2695 v3 @ 2.30GHz",
+            IntelXeon,
+            3.3,
+            70.0,
+            136.0,
+            28,
+            56,
+            2,
+            2,
+            OmniPath,
+            Gen3,
+            16,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 16, 28],
+            21,
+        ),
+        cluster(
+            "Bebop",
+            "Intel Xeon CPU E5-2695 v4 @ 2.10GHz",
+            IntelXeon,
+            3.3,
+            90.0,
+            153.0,
+            36,
+            72,
+            2,
+            2,
+            OmniPath,
+            Gen3,
+            16,
+            vec![1, 2, 4, 6, 8, 16],
+            vec![1, 4, 9, 18, 36],
+            21,
+        ),
+        cluster(
+            "TACC KNL",
+            "Intel Xeon Phi CPU 7250 @ 1.40GHz",
+            IntelXeonPhi,
+            1.6,
+            34.0,
+            400.0,
+            68,
+            272,
+            1,
+            4,
+            OmniPath,
+            Gen3,
+            64,
+            vec![1, 2, 3, 4, 8, 16],
+            vec![1, 4, 16, 32, 64, 68],
+            21,
+        ),
+        cluster(
+            "TACC Skylake",
+            "Intel Xeon Platinum 8170",
+            IntelXeon,
+            3.7,
+            71.5,
+            220.0,
+            52,
+            104,
+            2,
+            2,
+            OmniPath,
+            Gen3,
+            64,
+            pow2_nodes(5),
+            vec![1, 2, 4, 8, 13, 26, 48, 52],
+            21,
+        ),
+        cluster(
+            "MRI",
+            "AMD EPYC 7713 64-Core",
+            AmdEpyc,
+            3.67,
+            512.0,
+            410.0,
+            128,
+            256,
+            2,
+            8,
+            Hdr,
+            Gen4,
+            8,
+            pow2_nodes(4),
+            vec![1, 2, 4, 8, 16, 32, 64, 128],
+            16,
+        ),
+    ]
+}
+
+/// The zoo, built once.
+pub fn zoo() -> &'static [ClusterEntry] {
+    static ZOO: OnceLock<Vec<ClusterEntry>> = OnceLock::new();
+    ZOO.get_or_init(build_zoo)
+}
+
+/// Look up a cluster by (case-sensitive) name.
+pub fn by_name(name: &str) -> Option<&'static ClusterEntry> {
+    zoo().iter().find(|c| c.spec.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_clusters() {
+        assert_eq!(zoo().len(), 18);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = zoo().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn grid_lengths_match_table_one() {
+        // (name, #nodes, #ppn, #msg) straight from Table I.
+        let expected = [
+            ("RI2", 5, 6, 21),
+            ("RI", 1, 2, 21),
+            ("Haswell", 3, 6, 21),
+            ("Catalyst", 4, 6, 21),
+            ("Spock", 5, 8, 21),
+            ("Rome", 4, 10, 21),
+            ("Frontera", 5, 8, 21),
+            ("LLNL", 5, 6, 21),
+            ("Frontera RTX", 5, 5, 21),
+            ("Hartree", 3, 5, 21),
+            ("Mayer", 4, 7, 21),
+            ("Ray", 4, 3, 21),
+            ("Sierra", 5, 8, 21),
+            ("Bridges", 5, 6, 21),
+            ("Bebop", 6, 5, 21),
+            ("TACC KNL", 6, 6, 21),
+            ("TACC Skylake", 5, 8, 21),
+            ("MRI", 4, 8, 16),
+        ];
+        for (name, n_nodes, n_ppn, n_msg) in expected {
+            let c = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(c.node_grid.len(), n_nodes, "{name} node grid");
+            assert_eq!(c.ppn_grid.len(), n_ppn, "{name} ppn grid");
+            assert_eq!(c.msg_grid.len(), n_msg, "{name} msg grid");
+        }
+    }
+
+    #[test]
+    fn ppn_grids_fit_the_hardware() {
+        for c in zoo() {
+            let max_ppn = *c.ppn_grid.iter().max().unwrap();
+            assert!(
+                max_ppn <= c.spec.max_ppn(),
+                "{}: ppn {} exceeds {} hardware threads",
+                c.name(),
+                max_ppn,
+                c.spec.max_ppn()
+            );
+        }
+    }
+
+    #[test]
+    fn node_grids_fit_the_machine() {
+        for c in zoo() {
+            let max_nodes = *c.node_grid.iter().max().unwrap();
+            assert!(max_nodes <= c.spec.num_nodes, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn frontera_and_mri_match_evaluation_setup() {
+        // §VII benchmarks Frontera at 16 nodes × {28, 56} PPN and MRI at
+        // 8 nodes × {64, 128} PPN — those cells must exist in the grids.
+        let f = by_name("Frontera").unwrap();
+        assert!(f.node_grid.contains(&16));
+        assert!(f.ppn_grid.contains(&28) && f.ppn_grid.contains(&56));
+        let m = by_name("MRI").unwrap();
+        assert!(m.node_grid.contains(&8));
+        assert!(m.ppn_grid.contains(&64) && m.ppn_grid.contains(&128));
+    }
+
+    #[test]
+    fn interconnect_families_match_table() {
+        use pml_simnet::HcaGeneration::*;
+        assert_eq!(by_name("RI").unwrap().spec.node.nic.generation, Qdr);
+        assert_eq!(by_name("MRI").unwrap().spec.node.nic.generation, Hdr);
+        assert_eq!(
+            by_name("Bridges").unwrap().spec.node.nic.generation,
+            OmniPath
+        );
+        assert_eq!(by_name("Frontera").unwrap().spec.node.nic.generation, Edr);
+    }
+}

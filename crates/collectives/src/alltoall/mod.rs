@@ -1,0 +1,17 @@
+//! `MPI_Alltoall` algorithms (§III of the paper).
+//!
+//! Contract shared by every generator here: rank r's `Input` buffer holds p
+//! blocks, the j-th destined to rank j; after execution rank r's `Work`
+//! buffer holds p blocks, the i-th being the block rank i sent to r.
+
+pub mod bruck;
+pub mod inplace;
+pub mod pairwise;
+pub mod recursive_doubling;
+pub mod scatter_dest;
+
+pub use bruck::schedule as bruck_schedule;
+pub use inplace::schedule as inplace_schedule;
+pub use pairwise::schedule as pairwise_schedule;
+pub use recursive_doubling::schedule as recursive_doubling_schedule;
+pub use scatter_dest::schedule as scatter_dest_schedule;

@@ -1,0 +1,7 @@
+//! Schedule executors: three backends consuming the same IR.
+
+pub mod interp;
+pub mod sim;
+pub mod threaded;
+
+pub use sim::SimResult;

@@ -1,0 +1,232 @@
+//! Real multi-threaded executor: one OS thread per rank.
+//!
+//! Each rank runs its program against its own buffers; messages travel over
+//! crossbeam channels (one inbound channel per rank, MPI-style tag matching
+//! with an unexpected-message queue). This is the "it actually runs in
+//! parallel and moves real bytes" backend: its results must be bit-identical
+//! to the sequential interpreter, and the test suite checks exactly that.
+
+use crate::schedule::{Buf, CommSchedule, Op, Region};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+
+struct Envelope {
+    src: u32,
+    tag: u32,
+    payload: Vec<u8>,
+}
+
+struct RankCtx {
+    rank: u32,
+    input: Vec<u8>,
+    work: Vec<u8>,
+    aux: Vec<u8>,
+    inbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    /// Messages that arrived before their Recv was posted.
+    unexpected: HashMap<(u32, u32), Vec<u8>>,
+}
+
+impl RankCtx {
+    fn read(&self, r: &Region) -> Vec<u8> {
+        let buf = match r.buf {
+            Buf::Input => &self.input,
+            Buf::Work => &self.work,
+            Buf::Aux => &self.aux,
+        };
+        buf[r.offset..r.end()].to_vec()
+    }
+
+    fn write(&mut self, r: &Region, data: &[u8]) {
+        let buf = match r.buf {
+            Buf::Input => panic!("write into read-only input"),
+            Buf::Work => &mut self.work,
+            Buf::Aux => &mut self.aux,
+        };
+        buf[r.offset..r.offset + data.len()].copy_from_slice(data);
+    }
+
+    fn combine(&mut self, r: &Region, data: &[u8]) {
+        let buf = match r.buf {
+            Buf::Input => panic!("combine into read-only input"),
+            Buf::Work => &mut self.work,
+            Buf::Aux => &mut self.aux,
+        };
+        for (d, s) in buf[r.offset..r.offset + data.len()].iter_mut().zip(data) {
+            *d = d.wrapping_add(*s);
+        }
+    }
+
+    fn recv_matching(&mut self, from: u32, tag: u32) -> Vec<u8> {
+        if let Some(payload) = self.unexpected.remove(&(from, tag)) {
+            return payload;
+        }
+        loop {
+            let env = self.inbox.recv().unwrap_or_else(|_| {
+                panic!("rank {}: inbox closed waiting on {from}/{tag}", self.rank)
+            });
+            if env.src == from && env.tag == tag {
+                return env.payload;
+            }
+            let prev = self.unexpected.insert((env.src, env.tag), env.payload);
+            assert!(
+                prev.is_none(),
+                "duplicate message ({}, {})",
+                env.src,
+                env.tag
+            );
+        }
+    }
+
+    fn run(mut self, program: &[crate::schedule::Step]) -> Vec<u8> {
+        for step in program {
+            // Phase 1: copies and reductions, in order.
+            for op in &step.ops {
+                match op {
+                    Op::Copy { src, dst } => {
+                        let data = self.read(src);
+                        self.write(dst, &data);
+                    }
+                    Op::Combine { src, dst } => {
+                        let data = self.read(src);
+                        self.combine(dst, &data);
+                    }
+                    _ => {}
+                }
+            }
+            // Phase 2: post sends (never blocks: channels are unbounded).
+            for op in &step.ops {
+                if let Op::Send { to, tag, region } = op {
+                    let payload = self.read(region);
+                    self.peers[*to as usize]
+                        .send(Envelope {
+                            src: self.rank,
+                            tag: *tag,
+                            payload,
+                        })
+                        .expect("peer inbox closed");
+                }
+            }
+            // Phase 3: wait-all on receives.
+            for op in &step.ops {
+                if let Op::Recv { from, tag, region } = op {
+                    let payload = self.recv_matching(*from, *tag);
+                    assert_eq!(payload.len(), region.len, "message size mismatch");
+                    let r = *region;
+                    self.write(&r, &payload);
+                }
+            }
+        }
+        assert!(
+            self.unexpected.is_empty(),
+            "rank {}: {} unconsumed messages",
+            self.rank,
+            self.unexpected.len()
+        );
+        self.work
+    }
+}
+
+/// Execute `schedule` with one thread per rank; returns each rank's `Work`
+/// buffer. Panics (propagating the worker's panic) on any schedule error.
+pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let world = schedule.world as usize;
+    assert_eq!(inputs.len(), world, "need one input buffer per rank");
+
+    let mut senders = Vec::with_capacity(world);
+    let mut receivers = Vec::with_capacity(world);
+    for _ in 0..world {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let mut outputs: Vec<Option<Vec<u8>>> = vec![None; world];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(world);
+        for (rank, inbox) in receivers.into_iter().enumerate() {
+            let input = inputs[rank].clone();
+            let mut work = vec![0u8; schedule.work_len];
+            if schedule.work_initialized_from_input {
+                work[..input.len()].copy_from_slice(&input);
+            }
+            let ctx = RankCtx {
+                rank: rank as u32,
+                input,
+                work,
+                aux: vec![0u8; schedule.aux_len],
+                inbox,
+                peers: senders.clone(),
+                unexpected: HashMap::new(),
+            };
+            let program = &schedule.ranks[rank];
+            handles.push(scope.spawn(move || ctx.run(program)));
+        }
+        drop(senders);
+        for (rank, h) in handles.into_iter().enumerate() {
+            outputs[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    outputs.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Region, ScheduleBuilder};
+
+    #[test]
+    fn matches_interpreter_on_ring_like_pattern() {
+        // 4 ranks pass their block around a ring, one hop per step.
+        let p = 4u32;
+        let b = 8usize;
+        let mut sb = ScheduleBuilder::new(p, b, b, p as usize * b, 0);
+        for r in 0..p {
+            sb.step(r, |s| {
+                s.copy(Region::input(0, b), Region::work(r as usize * b, b));
+            });
+            for k in 0..p - 1 {
+                let right = (r + 1) % p;
+                let left = (r + p - 1) % p;
+                let send_blk = ((r + p - k) % p) as usize;
+                let recv_blk = ((r + p - 1 - k) % p) as usize;
+                sb.step(r, |s| {
+                    s.send(right, Region::work(send_blk * b, b));
+                    s.recv(left, Region::work(recv_blk * b, b));
+                });
+            }
+        }
+        let sch = sb.finish();
+        sch.validate().unwrap();
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| vec![r as u8 + 1; b]).collect();
+        let threaded = run(&sch, &inputs);
+        let interp = crate::exec::interp::run(&sch, &inputs);
+        assert_eq!(threaded, interp);
+        let expected: Vec<u8> = (0..p).flat_map(|r| vec![r as u8 + 1; b]).collect();
+        for out in &threaded {
+            assert_eq!(*out, expected);
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_buffered() {
+        // Rank 0 sends two messages; rank 1 receives them in reverse order
+        // across two steps — exercising the unexpected-message queue is not
+        // possible with FIFO tags per pair, so use two distinct source ranks
+        // whose arrival order is racy instead.
+        let b = 4;
+        let mut sb = ScheduleBuilder::new(3, b, b, 2 * b, 0);
+        sb.step(0, |s| s.send(2, Region::input(0, b)));
+        sb.step(1, |s| s.send(2, Region::input(0, b)));
+        sb.step(2, |s| {
+            s.recv(1, Region::work(b, b));
+            s.recv(0, Region::work(0, b));
+        });
+        let sch = sb.finish();
+        sch.validate().unwrap();
+        for _ in 0..50 {
+            let out = run(&sch, &[vec![1; b], vec![2; b], vec![0; b]]);
+            assert_eq!(out[2], [[1u8; 4], [2u8; 4]].concat());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! High-level measurement entry point: "run this algorithm on this cluster
+//! at this job shape and message size, tell me how long it takes".
+//!
+//! This is the in-house micro-benchmark the paper's Table I dataset was
+//! gathered with, in simulated form: schedules are generated on demand,
+//! executed in virtual time, and optionally perturbed by the noise model
+//! with results averaged over iterations (§III: "performance results by
+//! averaging multiple iterations of experiments").
+
+use crate::algo::Algorithm;
+use crate::exec::sim;
+use pml_simnet::{CostModel, JobLayout, NodeSpec, NoiseModel};
+use rand::Rng;
+
+/// One micro-benchmark point: a collective algorithm at a job shape and
+/// message size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureConfig {
+    pub layout: JobLayout,
+    /// Per-rank block size in bytes ("message size" in the paper's sense).
+    pub msg_size: usize,
+}
+
+/// Noise-free modelled runtime in seconds. Panics if the algorithm does not
+/// support the world size.
+pub fn measure(algo: Algorithm, node: &NodeSpec, cfg: MeasureConfig) -> f64 {
+    let p = cfg.layout.world_size();
+    assert!(algo.supports(p), "{algo} does not support {p} ranks");
+    let schedule = algo.schedule(p, cfg.msg_size);
+    let cost = CostModel::new(node.clone(), cfg.layout.ppn);
+    sim::run(&schedule, cfg.layout, &cost).time_s
+}
+
+/// Noise-free runtimes for every applicable algorithm across a message-size
+/// sweep at one job shape. Each algorithm's schedule is generated **once**
+/// (at unit block size) and re-simulated scaled — the fast path dataset
+/// generation runs on. Returns, per message size, the (algorithm, runtime)
+/// pairs in registry order (unsorted).
+pub fn measure_sweep(
+    collective: crate::algo::Collective,
+    node: &NodeSpec,
+    layout: JobLayout,
+    msg_sizes: &[usize],
+) -> Vec<Vec<(Algorithm, f64)>> {
+    let p = layout.world_size();
+    let cost = CostModel::new(node.clone(), layout.ppn);
+    let algos = Algorithm::applicable_for(collective, p);
+    let mut out = vec![Vec::with_capacity(algos.len()); msg_sizes.len()];
+    for algo in algos {
+        if algo.scale_invariant() {
+            let unit = algo.schedule(p, 1);
+            for (slot, &msg) in out.iter_mut().zip(msg_sizes) {
+                let t = sim::run_scaled(&unit, layout, &cost, msg).time_s;
+                slot.push((algo, t));
+            }
+        } else {
+            // Chunk boundaries depend on the message size: no unit-schedule
+            // shortcut, generate per size.
+            for (slot, &msg) in out.iter_mut().zip(msg_sizes) {
+                let t = sim::run(&algo.schedule(p, msg), layout, &cost).time_s;
+                slot.push((algo, t));
+            }
+        }
+    }
+    out
+}
+
+/// Noisy measurement averaged over `iters` iterations, like the paper's
+/// benchmarking protocol. Deterministic given the RNG state.
+pub fn measure_noisy<R: Rng + ?Sized>(
+    algo: Algorithm,
+    node: &NodeSpec,
+    cfg: MeasureConfig,
+    noise: &NoiseModel,
+    iters: u32,
+    rng: &mut R,
+) -> f64 {
+    assert!(iters >= 1, "need at least one iteration");
+    let base = measure(algo, node, cfg);
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        acc += base * noise.sample(rng);
+    }
+    acc / iters as f64
+}
+
+/// Run every applicable algorithm at `cfg` and return (algorithm, runtime)
+/// pairs, noise-free, sorted fastest first.
+pub fn rank_algorithms(
+    collective: crate::algo::Collective,
+    node: &NodeSpec,
+    cfg: MeasureConfig,
+) -> Vec<(Algorithm, f64)> {
+    let p = cfg.layout.world_size();
+    let mut out: Vec<(Algorithm, f64)> = Algorithm::applicable_for(collective, p)
+        .into_iter()
+        .map(|a| (a, measure(a, node, cfg)))
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{AllgatherAlgo, AlltoallAlgo, Collective};
+    use pml_simnet::{CpuFamily, CpuSpec, HcaGeneration, InterconnectSpec, PcieVersion};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frontera_like() -> NodeSpec {
+        NodeSpec {
+            cpu: CpuSpec {
+                model: "Intel Xeon Platinum 8280".into(),
+                family: CpuFamily::IntelXeon,
+                max_clock_ghz: 2.7,
+                l3_cache_mib: 38.5,
+                mem_bw_gbs: 140.0,
+                cores: 56,
+                threads: 56,
+                sockets: 2,
+                numa_nodes: 2,
+            },
+            nic: InterconnectSpec::new(HcaGeneration::Edr, PcieVersion::Gen3),
+        }
+    }
+
+    #[test]
+    fn all_algorithms_measurable_at_pow2() {
+        let node = frontera_like();
+        let cfg = MeasureConfig {
+            layout: JobLayout::new(2, 8),
+            msg_size: 1024,
+        };
+        for a in AllgatherAlgo::ALL {
+            assert!(measure(Algorithm::Allgather(a), &node, cfg) > 0.0);
+        }
+        for a in AlltoallAlgo::ALL {
+            assert!(measure(Algorithm::Alltoall(a), &node, cfg) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let node = frontera_like();
+        let cfg = MeasureConfig {
+            layout: JobLayout::new(2, 4),
+            msg_size: 4096,
+        };
+        let ranked = rank_algorithms(Collective::Alltoall, &node, cfg);
+        assert_eq!(ranked.len(), AlltoallAlgo::ALL.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn noisy_average_converges_to_base() {
+        let node = frontera_like();
+        let cfg = MeasureConfig {
+            layout: JobLayout::new(2, 4),
+            msg_size: 512,
+        };
+        let a = Algorithm::Allgather(AllgatherAlgo::Ring);
+        let base = measure(a, &node, cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = measure_noisy(
+            a,
+            &node,
+            cfg,
+            &pml_simnet::NoiseModel::typical(),
+            400,
+            &mut rng,
+        );
+        assert!((noisy / base - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sweep_matches_individual_measurements() {
+        let node = frontera_like();
+        let layout = JobLayout::new(2, 6);
+        let sizes = [1usize, 1024, 65536];
+        for coll in Collective::ALL {
+            let sweep = measure_sweep(coll, &node, layout, &sizes);
+            for (col, &msg) in sweep.iter().zip(&sizes) {
+                for &(a, t) in col {
+                    let direct = measure(
+                        a,
+                        &node,
+                        MeasureConfig {
+                            layout,
+                            msg_size: msg,
+                        },
+                    );
+                    assert!(
+                        (t - direct).abs() < 1e-15_f64.max(direct * 1e-12),
+                        "{a} msg {msg}: sweep {t} vs direct {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_algorithms_get_different_times() {
+        let node = frontera_like();
+        let cfg = MeasureConfig {
+            layout: JobLayout::new(4, 8),
+            msg_size: 65536,
+        };
+        let ranked = rank_algorithms(Collective::Alltoall, &node, cfg);
+        assert!(ranked[0].1 < ranked.last().unwrap().1);
+    }
+}

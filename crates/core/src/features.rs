@@ -1,0 +1,166 @@
+//! Feature extraction (§V-A): the 14-dimensional vector — 3 MPI-specific
+//! features plus 11 hardware features — the classifier consumes.
+//!
+//! On a real deployment these come from `lscpu`, `lspci`, and `ibstat` via
+//! the paper's extraction script; here they are read off the
+//! [`pml_simnet::NodeSpec`]. As in the paper, the HCA is represented by its
+//! *underlying* link speed and width rather than a categorical name, and
+//! threads-per-core is excluded (it is CPU-determined and would introduce a
+//! feature dependency).
+
+use pml_clusters::TuningRecord;
+use pml_collectives::Collective;
+use pml_mlcore::{Dataset, Matrix};
+use pml_simnet::NodeSpec;
+
+/// Number of features (3 MPI + 11 hardware).
+pub const N_FEATURES: usize = 14;
+
+/// Feature names, index-aligned with [`extract`]'s output.
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "num_nodes",
+    "ppn",
+    "msg_size",
+    "cpu_max_clock_ghz",
+    "l3_cache_mib",
+    "mem_bw_gbs",
+    "core_count",
+    "thread_count",
+    "num_sockets",
+    "numa_nodes",
+    "pcie_lanes",
+    "pcie_version",
+    "hca_link_speed_gbps",
+    "hca_link_width",
+];
+
+/// Indices of the MPI-specific features within the vector.
+pub const MPI_FEATURES: [usize; 3] = [0, 1, 2];
+
+/// Extract the feature vector for one job configuration on one node type.
+pub fn extract(node: &NodeSpec, nodes: u32, ppn: u32, msg_size: usize) -> [f64; N_FEATURES] {
+    [
+        nodes as f64,
+        ppn as f64,
+        msg_size as f64,
+        node.cpu.max_clock_ghz,
+        node.cpu.l3_cache_mib,
+        node.cpu.mem_bw_gbs,
+        node.cpu.cores as f64,
+        node.cpu.threads as f64,
+        node.cpu.sockets as f64,
+        node.cpu.numa_nodes as f64,
+        node.nic.pcie_lanes as f64,
+        node.nic.pcie_version.number() as f64,
+        node.nic.generation.lane_rate_gbps(),
+        node.nic.link_width as f64,
+    ]
+}
+
+/// Convert tuning records into an ML dataset for one collective.
+///
+/// Labels are algorithm class indices ([`pml_collectives::Algorithm::index`]);
+/// hardware features are looked up in the cluster zoo by the record's
+/// cluster name. Records of other collectives are skipped.
+pub fn records_to_dataset(records: &[TuningRecord], collective: Collective) -> Dataset {
+    let mut rows: Vec<[f64; N_FEATURES]> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for r in records {
+        if r.collective != collective {
+            continue;
+        }
+        let entry = pml_clusters::by_name(&r.cluster)
+            .unwrap_or_else(|| panic!("record references unknown cluster {:?}", r.cluster));
+        rows.push(extract(&entry.spec.node, r.nodes, r.ppn, r.msg_size));
+        labels.push(r.best.index());
+    }
+    let x = Matrix::from_rows(rows);
+    Dataset::new(
+        x,
+        labels,
+        collective.algo_count(),
+        FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+/// Project a dataset onto a feature subset (the paper trains the final
+/// model on the top-5 features by importance to avoid overfitting).
+pub fn select_features(data: &Dataset, keep: &[usize]) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..data.len())
+        .map(|i| keep.iter().map(|&j| data.x.get(i, j)).collect())
+        .collect();
+    Dataset::new(
+        Matrix::from_rows(rows),
+        data.y.clone(),
+        data.n_classes,
+        keep.iter()
+            .map(|&j| data.feature_names[j].clone())
+            .collect(),
+    )
+}
+
+/// Project a single feature vector onto a subset.
+pub fn project(features: &[f64; N_FEATURES], keep: &[usize]) -> Vec<f64> {
+    keep.iter().map(|&j| features[j]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_clusters::by_name;
+
+    #[test]
+    fn fourteen_features_named() {
+        assert_eq!(FEATURE_NAMES.len(), N_FEATURES);
+        let f = by_name("Frontera").unwrap();
+        let v = extract(&f.spec.node, 16, 56, 4096);
+        assert_eq!(v.len(), N_FEATURES);
+        assert_eq!(v[0], 16.0);
+        assert_eq!(v[1], 56.0);
+        assert_eq!(v[2], 4096.0);
+        assert_eq!(v[12], 25.0); // EDR lane rate
+    }
+
+    #[test]
+    fn different_clusters_have_different_hardware_features() {
+        let a = extract(&by_name("Frontera").unwrap().spec.node, 2, 4, 64);
+        let b = extract(&by_name("MRI").unwrap().spec.node, 2, 4, 64);
+        assert_eq!(a[..3], b[..3]); // same MPI features
+        assert_ne!(a[3..], b[3..]); // different hardware
+    }
+
+    #[test]
+    fn dataset_conversion_filters_and_labels() {
+        use pml_clusters::{measure_cell, DatagenConfig};
+        let e = by_name("RI").unwrap();
+        let r1 = measure_cell(
+            e,
+            Collective::Allgather,
+            2,
+            4,
+            64,
+            &DatagenConfig::noiseless(),
+        );
+        let r2 = measure_cell(
+            e,
+            Collective::Alltoall,
+            2,
+            4,
+            64,
+            &DatagenConfig::noiseless(),
+        );
+        let d = records_to_dataset(&[r1.clone(), r2], Collective::Allgather);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.n_classes, 4);
+        assert_eq!(d.y[0], r1.best.index());
+        assert_eq!(d.n_features(), N_FEATURES);
+    }
+
+    #[test]
+    fn feature_selection_projects() {
+        let f = by_name("Frontera").unwrap();
+        let v = extract(&f.spec.node, 1, 2, 8);
+        let p = project(&v, &[2, 4]);
+        assert_eq!(p, vec![8.0, 77.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pml-core
+//!
+//! The PML-MPI framework itself — the paper's contribution.
+//!
+//! * [`features`] — the 14-feature (3 MPI + 11 hardware) extraction of §V-A;
+//! * [`pipeline`] — offline training (Fig. 3) producing a serializable
+//!   [`pipeline::PretrainedModel`], and online inference (Fig. 4) emitting
+//!   JSON tuning tables for unseen clusters in constant time;
+//! * [`tuning_table`] — the JSON artifact + the compile-time table cache;
+//! * [`hwdetect`] — the feature-extraction "script": parsers for
+//!   `lscpu`/`ibstat`/`lspci` captures producing a ready
+//!   [`pml_simnet::NodeSpec`];
+//! * [`selectors`] — the strategy zoo benchmarked in §VII: the proposed
+//!   ML selector, MVAPICH2/Open MPI-style static defaults, random
+//!   selection, and the exhaustive-micro-benchmark oracle;
+//! * [`overhead`] — the core-hour models of Figs. 1 and 7;
+//! * [`tuner`] — the runtime-side facade an MPI library links: memoized
+//!   tuning-table lookups with static-rule fallback.
+
+pub mod features;
+pub mod hwdetect;
+pub mod overhead;
+pub mod pipeline;
+pub mod selectors;
+pub mod tuner;
+pub mod tuning_table;
+
+pub use features::{extract, records_to_dataset, FEATURE_NAMES, N_FEATURES};
+pub use hwdetect::{detect_node, parse_ibstat, parse_lscpu, parse_lspci_link, HwDetectError};
+pub use pipeline::{MlSelector, PretrainedModel, TrainConfig};
+pub use selectors::{
+    applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault, OpenMpiDefault,
+    OracleSelector, RandomSelector,
+};
+pub use tuner::Tuner;
+pub use tuning_table::{TableEntry, TableStore, TuningTable};

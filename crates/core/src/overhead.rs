@@ -1,0 +1,193 @@
+//! Tuning-overhead (core-hour) models behind Figs. 1 and 7.
+//!
+//! Core-hours = processes × wall time / 3600. Three strategies:
+//!
+//! * **Offline micro-benchmarking** — to tune a machine up to N nodes, the
+//!   tool must sweep every algorithm × PPN × message size at every node
+//!   count ≤ N, paying N·PPN cores for the whole sweep's duration. We
+//!   compute the sweep runtime with the same simulator the dataset uses.
+//! * **ACCLAiM** — online training at application runtime. The paper
+//!   anchors this line to ACCLAiM's published data point (5.62 minutes for
+//!   `MPI_Allgather` on 128 nodes) and, lacking more detail, deliberately
+//!   ignores its communication overhead, making the line a lower bound. We
+//!   reproduce the same arithmetic: a constant 5.62-minute tuning phase
+//!   billed on all N×PPN cores.
+//! * **PML-MPI (proposed)** — one model inference per grid cell on a single
+//!   process at MPI-library compile time; node count does not appear in the
+//!   formula at all, so the line is flat.
+
+use pml_clusters::ClusterEntry;
+use pml_collectives::{measure_sweep, Algorithm, Collective};
+use pml_simnet::JobLayout;
+
+/// ACCLAiM's published model overhead: 5.62 minutes at 128 nodes for
+/// MPI_Allgather (Wilkins et al., CLUSTER'22, as cited in §II).
+pub const ACCLAIM_MINUTES_AT_128_NODES: f64 = 5.62;
+
+/// Benchmark iterations the offline micro-benchmark sweep averages over
+/// (matching the dataset protocol).
+pub const MICROBENCH_ITERS: f64 = 10.0;
+
+/// Core-hours for exhaustively micro-benchmarking `entry` at exactly
+/// `nodes` nodes and `ppn` PPN: every applicable algorithm at every message
+/// size, `MICROBENCH_ITERS` iterations each, billed on nodes×ppn cores.
+pub fn microbench_core_hours_at(
+    entry: &ClusterEntry,
+    collective: Collective,
+    nodes: u32,
+    ppn: u32,
+) -> f64 {
+    let sweep = measure_sweep(
+        collective,
+        &entry.spec.node,
+        JobLayout::new(nodes, ppn),
+        &entry.msg_grid,
+    );
+    let sweep_seconds: f64 = sweep
+        .iter()
+        .flat_map(|per_size| per_size.iter().map(|(_, t)| t))
+        .sum::<f64>()
+        * MICROBENCH_ITERS;
+    (nodes * ppn) as f64 * sweep_seconds / 3600.0
+}
+
+/// Cumulative core-hours to produce tuning tables covering node counts up
+/// to `max_nodes` (the lookup table needs every smaller node count too).
+pub fn microbench_core_hours_cumulative(
+    entry: &ClusterEntry,
+    collective: Collective,
+    max_nodes: u32,
+    ppn: u32,
+) -> f64 {
+    let mut n = 1u32;
+    let mut total = 0.0;
+    while n <= max_nodes {
+        total += microbench_core_hours_at(entry, collective, n, ppn);
+        n *= 2;
+    }
+    total
+}
+
+/// ACCLAiM's core-hours at `nodes` × `ppn`: constant tuning wall time
+/// billed on every core of the allocation (communication ignored — a lower
+/// bound, as in the paper).
+pub fn acclaim_core_hours(nodes: u32, ppn: u32) -> f64 {
+    (nodes * ppn) as f64 * (ACCLAIM_MINUTES_AT_128_NODES / 60.0)
+}
+
+/// PML-MPI's core-hours: `inference_seconds` of single-process model
+/// inference, independent of node count.
+pub fn proposed_core_hours(inference_seconds: f64) -> f64 {
+    inference_seconds / 3600.0
+}
+
+/// Measure the wall time of generating a tuning table with a pre-trained
+/// model (the "<1 s inference" claim of §II), in seconds.
+pub fn measure_inference_seconds(
+    model: &crate::pipeline::PretrainedModel,
+    entry: &ClusterEntry,
+) -> f64 {
+    let t0 = std::time::Instant::now();
+    let table = model.generate_tuning_table(entry);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(!table.is_empty());
+    dt
+}
+
+/// One row of the Fig. 1 / Fig. 7 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    pub nodes: u32,
+    pub microbench_core_hours: f64,
+    pub acclaim_core_hours: f64,
+    pub proposed_core_hours: f64,
+}
+
+/// Build the full overhead comparison over doubling node counts.
+pub fn overhead_series(
+    entry: &ClusterEntry,
+    collective: Collective,
+    node_counts: &[u32],
+    ppn: u32,
+    inference_seconds: f64,
+) -> Vec<OverheadRow> {
+    node_counts
+        .iter()
+        .map(|&n| OverheadRow {
+            nodes: n,
+            microbench_core_hours: microbench_core_hours_cumulative(entry, collective, n, ppn),
+            acclaim_core_hours: acclaim_core_hours(n, ppn),
+            proposed_core_hours: proposed_core_hours(inference_seconds),
+        })
+        .collect()
+}
+
+/// Convenience: total seconds the whole Table-I-style sweep would take on
+/// the machine (used to sanity-check the micro-benchmark numbers).
+pub fn sweep_seconds(entry: &ClusterEntry, collective: Collective, nodes: u32, ppn: u32) -> f64 {
+    let sweep = measure_sweep(
+        collective,
+        &entry.spec.node,
+        JobLayout::new(nodes, ppn),
+        &entry.msg_grid,
+    );
+    sweep.iter().flat_map(|s| s.iter().map(|(_, t)| t)).sum()
+}
+
+/// Count of algorithm runs in one sweep (diagnostics).
+pub fn sweep_points(entry: &ClusterEntry, collective: Collective, nodes: u32, ppn: u32) -> usize {
+    let world = nodes * ppn;
+    Algorithm::applicable_for(collective, world).len() * entry.msg_grid.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_clusters::by_name;
+
+    #[test]
+    fn microbench_grows_superlinearly_with_nodes() {
+        let mut e = by_name("RI2").unwrap().clone();
+        e.msg_grid = vec![64, 4096, 65536];
+        let c2 = microbench_core_hours_at(&e, Collective::Alltoall, 2, 4);
+        let c8 = microbench_core_hours_at(&e, Collective::Alltoall, 8, 4);
+        // 4× the cores *and* longer collectives → more than 4× core-hours.
+        assert!(c8 > 4.0 * c2, "c8 {c8} vs c2 {c2}");
+    }
+
+    #[test]
+    fn cumulative_dominates_single_point() {
+        let mut e = by_name("RI2").unwrap().clone();
+        e.msg_grid = vec![64, 4096];
+        let single = microbench_core_hours_at(&e, Collective::Allgather, 4, 4);
+        let cumul = microbench_core_hours_cumulative(&e, Collective::Allgather, 4, 4);
+        assert!(cumul > single);
+    }
+
+    #[test]
+    fn acclaim_matches_published_anchor() {
+        // 128 nodes × 56 ppn × 5.62 min = 671.2 core-hours.
+        let ch = acclaim_core_hours(128, 56);
+        assert!((ch - 128.0 * 56.0 * 5.62 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proposed_is_constant_in_node_count() {
+        assert_eq!(proposed_core_hours(0.5), proposed_core_hours(0.5));
+        assert!(proposed_core_hours(1.0) < 1e-3);
+    }
+
+    #[test]
+    fn series_has_expected_ordering() {
+        let mut e = by_name("RI2").unwrap().clone();
+        e.msg_grid = vec![64, 4096];
+        let rows = overhead_series(&e, Collective::Allgather, &[2, 8], 4, 0.2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.proposed_core_hours < r.acclaim_core_hours);
+        }
+        assert!(rows[1].microbench_core_hours > rows[0].microbench_core_hours);
+        assert!(rows[1].acclaim_core_hours > rows[0].acclaim_core_hours);
+        assert_eq!(rows[0].proposed_core_hours, rows[1].proposed_core_hours);
+    }
+}

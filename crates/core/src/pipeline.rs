@@ -1,0 +1,413 @@
+//! The two-stage PML-MPI pipeline.
+//!
+//! **Offline training** (Fig. 3): build the dataset from micro-benchmark
+//! records across many clusters, rank the 14 features by Random-Forest Gini
+//! importance, keep the top-k (5 in the paper) to avoid overfitting, and fit
+//! the final forest on them. The result — a [`PretrainedModel`] — is the
+//! artifact shipped with the MPI library.
+//!
+//! **Online inference** (Fig. 4): on a new cluster, extract hardware
+//! features once, run the model over the job grid, and emit a JSON
+//! `TuningTable` for the target cluster. No data collection,
+//! no retraining — one process, well under a second.
+
+use crate::features::{self, N_FEATURES};
+use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig};
+use crate::tuning_table::TuningTable;
+use pml_clusters::{ClusterEntry, TuningRecord};
+use pml_collectives::{Algorithm, Collective};
+use pml_mlcore::{Classifier, ForestParams, RandomForest};
+use pml_simnet::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Offline-training settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub forest: ForestParams,
+    /// Keep the top-k features by importance (paper: 5). `None` keeps all.
+    pub top_k_features: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            forest: ForestParams {
+                n_estimators: 100,
+                seed: 42,
+                ..Default::default()
+            },
+            top_k_features: Some(5),
+        }
+    }
+}
+
+/// A trained, serializable PML-MPI model for one collective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PretrainedModel {
+    pub collective: Collective,
+    forest: RandomForest,
+    /// Indices (into the 14-feature vector) the final forest consumes.
+    selected_features: Vec<usize>,
+    /// Importance of all 14 features from the preliminary forest
+    /// (Figs. 5/6 material).
+    full_importances: Vec<f64>,
+    /// Records trained on (for provenance reporting).
+    pub n_training_records: usize,
+}
+
+impl PretrainedModel {
+    /// Offline training (Fig. 3) from micro-benchmark records.
+    pub fn train(records: &[TuningRecord], collective: Collective, cfg: &TrainConfig) -> Self {
+        let all: Vec<usize> = (0..N_FEATURES).collect();
+        Self::train_restricted(records, collective, cfg, &all)
+    }
+
+    /// Training restricted to a feature whitelist — the ablation knob. The
+    /// paper's contribution is exactly the difference between
+    /// `allowed = all 14` and `allowed = the 3 MPI features`
+    /// ([`features::MPI_FEATURES`]): without the hardware features the
+    /// model cannot tell clusters apart at all.
+    pub fn train_restricted(
+        records: &[TuningRecord],
+        collective: Collective,
+        cfg: &TrainConfig,
+        allowed: &[usize],
+    ) -> Self {
+        assert!(!allowed.is_empty() && allowed.iter().all(|&i| i < N_FEATURES));
+        let full = features::records_to_dataset(records, collective);
+        assert!(!full.is_empty(), "no training records for {collective}");
+
+        // Preliminary forest on the allowed features → importance ranking.
+        let allowed_data = features::select_features(&full, allowed);
+        let mut prelim = RandomForest::new(cfg.forest);
+        prelim.fit(&allowed_data.x, &allowed_data.y, allowed_data.n_classes);
+        let allowed_importances = prelim.feature_importances();
+        let mut full_importances = vec![0.0; N_FEATURES];
+        for (&feat, &imp) in allowed.iter().zip(&allowed_importances) {
+            full_importances[feat] = imp;
+        }
+
+        let selected_features: Vec<usize> = match cfg.top_k_features {
+            None => allowed.to_vec(),
+            Some(k) => {
+                let mut order: Vec<usize> = allowed.to_vec();
+                order.sort_by(|&a, &b| full_importances[b].total_cmp(&full_importances[a]));
+                let mut keep = order[..k.min(allowed.len())].to_vec();
+                keep.sort_unstable();
+                keep
+            }
+        };
+
+        let reduced = features::select_features(&full, &selected_features);
+        let mut forest = RandomForest::new(cfg.forest);
+        forest.fit(&reduced.x, &reduced.y, reduced.n_classes);
+
+        PretrainedModel {
+            collective,
+            forest,
+            selected_features,
+            full_importances,
+            n_training_records: full.len(),
+        }
+    }
+
+    /// Importance of every one of the 14 features (preliminary forest).
+    pub fn full_importances(&self) -> &[f64] {
+        &self.full_importances
+    }
+
+    /// The feature indices the shipped model consumes.
+    pub fn selected_features(&self) -> &[usize] {
+        &self.selected_features
+    }
+
+    /// Out-of-bag accuracy of the final forest, when available.
+    pub fn oob_score(&self) -> Option<f64> {
+        self.forest.oob_score()
+    }
+
+    /// Predict the algorithm for one configuration on one node type.
+    /// Guaranteed to return an algorithm applicable at the world size.
+    pub fn predict(&self, node: &NodeSpec, job: JobConfig) -> Algorithm {
+        let full = features::extract(node, job.nodes, job.ppn, job.msg_size);
+        let row = features::project(&full, &self.selected_features);
+        let class = self.forest.predict(&pml_mlcore::Matrix::from_rows([row]))[0];
+        let algo = Algorithm::from_index(self.collective, class)
+            .expect("model predicts a valid class index");
+        applicable_or_fallback(algo, job.world_size())
+    }
+
+    /// Hard predictions for a whole dataset-shaped matrix (already feature-
+    /// selected rows) — used by the accuracy benchmarks.
+    pub fn predict_dataset(&self, data: &pml_mlcore::Dataset) -> Vec<usize> {
+        let reduced = features::select_features(data, &self.selected_features);
+        self.forest.predict(&reduced.x)
+    }
+
+    /// Online inference (Fig. 4): generate the tuning table for a cluster
+    /// over its benchmark grid. One model inference per grid cell, one
+    /// process, no measurements.
+    pub fn generate_tuning_table(&self, entry: &ClusterEntry) -> TuningTable {
+        let mut table = TuningTable::new(entry.name(), self.collective);
+        for &n in &entry.node_grid {
+            for &p in &entry.ppn_grid {
+                for &m in &entry.msg_grid {
+                    let algo = self.predict(&entry.spec.node, JobConfig::new(n, p, m));
+                    table.insert(n, p, m as u64, algo);
+                }
+            }
+        }
+        table.normalize();
+        table
+    }
+
+    /// Serialize the shipped artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// The proposed selector: pre-trained models (one per collective) queried
+/// with the target cluster's hardware features.
+#[derive(Debug, Clone)]
+pub struct MlSelector {
+    name: String,
+    node: NodeSpec,
+    allgather: Option<PretrainedModel>,
+    alltoall: Option<PretrainedModel>,
+    /// Models for extension collectives (bcast/allreduce), when trained.
+    extra: std::collections::BTreeMap<Collective, PretrainedModel>,
+}
+
+impl MlSelector {
+    /// Build for a target cluster from pre-trained models. Either model may
+    /// be absent if only one collective is under study.
+    pub fn new(
+        node: NodeSpec,
+        allgather: Option<PretrainedModel>,
+        alltoall: Option<PretrainedModel>,
+    ) -> Self {
+        if let Some(m) = &allgather {
+            assert_eq!(m.collective, Collective::Allgather);
+        }
+        if let Some(m) = &alltoall {
+            assert_eq!(m.collective, Collective::Alltoall);
+        }
+        MlSelector {
+            name: "PML-MPI-proposed".into(),
+            node,
+            allgather,
+            alltoall,
+            extra: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Attach a model for an extension collective (bcast/allreduce).
+    pub fn with_model(mut self, model: PretrainedModel) -> Self {
+        match model.collective {
+            Collective::Allgather => self.allgather = Some(model),
+            Collective::Alltoall => self.alltoall = Some(model),
+            other => {
+                self.extra.insert(other, model);
+            }
+        }
+        self
+    }
+
+    pub fn model_for(&self, collective: Collective) -> Option<&PretrainedModel> {
+        match collective {
+            Collective::Allgather => self.allgather.as_ref(),
+            Collective::Alltoall => self.alltoall.as_ref(),
+            // The paper's dataset covers the two collectives above; models
+            // for the extension collectives can be trained with the same
+            // pipeline but are not part of the shipped pair.
+            Collective::Bcast | Collective::Allreduce => self.extra.get(&collective),
+        }
+    }
+}
+
+impl AlgorithmSelector for MlSelector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Collectives with a shipped model use it; the rest fall back to the
+    /// library's static default rules — exactly how a deployment behaves
+    /// while the tuner's coverage grows collective by collective.
+    fn select(&self, collective: Collective, job: JobConfig) -> Algorithm {
+        match self.model_for(collective) {
+            Some(model) => model.predict(&self.node, job),
+            None => crate::selectors::MvapichDefault.select(collective, job),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_clusters::{by_name, generate_cluster, DatagenConfig};
+
+    /// Small but real training set: two clusters, trimmed grids.
+    fn tiny_records(collective: Collective) -> Vec<TuningRecord> {
+        let mut out = Vec::new();
+        for name in ["RI", "Haswell"] {
+            let mut e = by_name(name).unwrap().clone();
+            e.node_grid = vec![1, 2];
+            e.ppn_grid = vec![2, 4];
+            e.msg_grid = vec![16, 1024, 65536];
+            out.extend(generate_cluster(
+                &e,
+                collective,
+                &DatagenConfig::noiseless(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn training_produces_working_model() {
+        let recs = tiny_records(Collective::Alltoall);
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: 20,
+                seed: 1,
+                ..Default::default()
+            },
+            top_k_features: Some(5),
+        };
+        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg);
+        assert_eq!(model.selected_features().len(), 5);
+        assert_eq!(model.n_training_records, recs.len());
+        let sum: f64 = model.full_importances().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Prediction is applicable and in-collective.
+        let e = by_name("Frontera").unwrap();
+        let a = model.predict(&e.spec.node, JobConfig::new(3, 5, 777));
+        assert!(a.supports(15));
+        assert_eq!(a.collective(), Collective::Alltoall);
+    }
+
+    #[test]
+    fn model_fits_training_grid_well() {
+        let recs = tiny_records(Collective::Allgather);
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: 40,
+                seed: 2,
+                ..Default::default()
+            },
+            top_k_features: None,
+        };
+        let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg);
+        let e_ri = by_name("RI").unwrap();
+        let e_hw = by_name("Haswell").unwrap();
+        let mut hits = 0;
+        for r in &recs {
+            let node = if r.cluster == "RI" {
+                &e_ri.spec.node
+            } else {
+                &e_hw.spec.node
+            };
+            if model.predict(node, JobConfig::new(r.nodes, r.ppn, r.msg_size)) == r.best {
+                hits += 1;
+            }
+        }
+        let acc = hits as f64 / recs.len() as f64;
+        assert!(acc > 0.8, "training-grid accuracy {acc}");
+    }
+
+    #[test]
+    fn tuning_table_covers_grid_and_roundtrips() {
+        let recs = tiny_records(Collective::Alltoall);
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg);
+        let mut e = by_name("MRI").unwrap().clone();
+        e.node_grid = vec![1, 2];
+        e.ppn_grid = vec![4];
+        e.msg_grid = vec![64, 2048];
+        let table = model.generate_tuning_table(&e);
+        assert_eq!(table.len(), 4);
+        let back = TuningTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(table, back);
+    }
+
+    #[test]
+    fn model_json_roundtrip_preserves_predictions() {
+        let recs = tiny_records(Collective::Allgather);
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: 8,
+                seed: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg);
+        let back = PretrainedModel::from_json(&model.to_json()).unwrap();
+        let node = &by_name("Bebop").unwrap().spec.node;
+        for logm in [0usize, 8, 16] {
+            let job = JobConfig::new(2, 4, 1 << logm);
+            assert_eq!(model.predict(node, job), back.predict(node, job));
+        }
+    }
+
+    #[test]
+    fn selector_wraps_models() {
+        let ag = PretrainedModel::train(
+            &tiny_records(Collective::Allgather),
+            Collective::Allgather,
+            &TrainConfig {
+                forest: ForestParams {
+                    n_estimators: 5,
+                    seed: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let node = by_name("Frontera").unwrap().spec.node.clone();
+        let sel = MlSelector::new(node, Some(ag), None);
+        let a = sel.select(Collective::Allgather, JobConfig::new(2, 2, 512));
+        assert_eq!(a.collective(), Collective::Allgather);
+    }
+
+    #[test]
+    fn selector_falls_back_to_default_rules_without_a_model() {
+        use crate::selectors::MvapichDefault;
+        let node = by_name("Frontera").unwrap().spec.node.clone();
+        let sel = MlSelector::new(node, None, None);
+        let job = JobConfig::new(2, 4, 4096);
+        for coll in Collective::ALL {
+            assert_eq!(sel.select(coll, job), MvapichDefault.select(coll, job));
+        }
+    }
+
+    #[test]
+    fn with_model_attaches_extension_collectives() {
+        let recs = tiny_records(Collective::Alltoall);
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: 5,
+                seed: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let aa = PretrainedModel::train(&recs, Collective::Alltoall, &cfg);
+        let node = by_name("Frontera").unwrap().spec.node.clone();
+        let sel = MlSelector::new(node, None, None).with_model(aa.clone());
+        assert!(sel.model_for(Collective::Alltoall).is_some());
+        assert!(sel.model_for(Collective::Bcast).is_none());
+    }
+}

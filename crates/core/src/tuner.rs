@@ -1,0 +1,159 @@
+//! The runtime-side tuner facade — the piece an MPI library links.
+//!
+//! At application startup the library builds one [`Tuner`] from the tuning
+//! tables produced at compile time (Fig. 4's JSON artifacts, one per
+//! collective). Every collective call then asks the tuner which algorithm
+//! to run; lookups are memoized per (collective, job shape, message size),
+//! so the steady-state cost is one hash-map probe — the "constant time at
+//! application runtime" the paper's title promises.
+
+use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault};
+use crate::tuning_table::TuningTable;
+use pml_collectives::{Algorithm, Collective};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Per-process algorithm selection with memoized tuning-table lookups.
+pub struct Tuner {
+    tables: HashMap<Collective, TuningTable>,
+    /// Memoized decisions: (collective, nodes, ppn, msg) → algorithm.
+    cache: Mutex<HashMap<(Collective, u32, u32, usize), Algorithm>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl Tuner {
+    /// Build from tuning tables (typically deserialized from the JSON files
+    /// next to the MPI library). Collectives without a table fall back to
+    /// the library's static default rules.
+    pub fn new(tables: impl IntoIterator<Item = TuningTable>) -> Self {
+        Tuner {
+            tables: tables.into_iter().map(|t| (t.collective, t)).collect(),
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// Load every `*.json` tuning table in a directory.
+    pub fn from_dir(dir: &std::path::Path) -> std::io::Result<Self> {
+        let mut tables = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                if let Ok(t) = TuningTable::from_json(&std::fs::read_to_string(&path)?) {
+                    tables.push(t);
+                }
+            }
+        }
+        Ok(Tuner::new(tables))
+    }
+
+    /// Which collectives have tables loaded.
+    pub fn covered(&self) -> Vec<Collective> {
+        let mut v: Vec<Collective> = self.tables.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock().unwrap(), *self.misses.lock().unwrap())
+    }
+
+    /// Pick the algorithm for one collective call.
+    pub fn select(&self, collective: Collective, job: JobConfig) -> Algorithm {
+        let key = (collective, job.nodes, job.ppn, job.msg_size);
+        if let Some(&a) = self.cache.lock().unwrap().get(&key) {
+            *self.hits.lock().unwrap() += 1;
+            return a;
+        }
+        *self.misses.lock().unwrap() += 1;
+        let chosen = self
+            .tables
+            .get(&collective)
+            .and_then(|t| t.lookup(job.nodes, job.ppn, job.msg_size as u64))
+            .map(|a| applicable_or_fallback(a, job.world_size()))
+            .filter(|a| a.supports(job.world_size()))
+            .unwrap_or_else(|| MvapichDefault.select(collective, job));
+        self.cache.lock().unwrap().insert(key, chosen);
+        chosen
+    }
+}
+
+impl AlgorithmSelector for Tuner {
+    fn name(&self) -> &str {
+        "pml-tuner"
+    }
+
+    fn select(&self, collective: Collective, job: JobConfig) -> Algorithm {
+        Tuner::select(self, collective, job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_collectives::AlltoallAlgo;
+
+    fn table() -> TuningTable {
+        let mut t = TuningTable::new("X", Collective::Alltoall);
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck));
+        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise));
+        t
+    }
+
+    #[test]
+    fn table_lookups_are_memoized() {
+        let tuner = Tuner::new([table()]);
+        let job = JobConfig::new(2, 8, 64);
+        let a = tuner.select(Collective::Alltoall, job);
+        assert_eq!(a, Algorithm::Alltoall(AlltoallAlgo::Bruck));
+        let b = tuner.select(Collective::Alltoall, job);
+        assert_eq!(a, b);
+        assert_eq!(tuner.stats(), (1, 1));
+    }
+
+    #[test]
+    fn uncovered_collectives_use_default_rules() {
+        let tuner = Tuner::new([table()]);
+        let job = JobConfig::new(2, 8, 1024);
+        let a = tuner.select(Collective::Allgather, job);
+        assert_eq!(a, MvapichDefault.select(Collective::Allgather, job));
+        assert_eq!(tuner.covered(), vec![Collective::Alltoall]);
+    }
+
+    #[test]
+    fn inapplicable_table_entries_fall_back_safely() {
+        // Table recommends RD (pow2 only); a 6-rank job must not get it.
+        let mut t = TuningTable::new("X", Collective::Alltoall);
+        t.insert(
+            3,
+            2,
+            64,
+            Algorithm::Alltoall(AlltoallAlgo::RecursiveDoubling),
+        );
+        let tuner = Tuner::new([t]);
+        let a = tuner.select(Collective::Alltoall, JobConfig::new(3, 2, 64));
+        assert!(a.supports(6));
+        assert_eq!(a, Algorithm::Alltoall(AlltoallAlgo::Bruck)); // RD's fallback
+    }
+
+    #[test]
+    fn directory_loading_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("pmltuner-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("aa.json"), table().to_json()).unwrap();
+        std::fs::write(dir.join("junk.json"), "not json").unwrap();
+        let tuner = Tuner::from_dir(&dir).unwrap();
+        assert_eq!(tuner.covered(), vec![Collective::Alltoall]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn off_grid_queries_resolve_by_nearest_bucket() {
+        let tuner = Tuner::new([table()]);
+        let a = tuner.select(Collective::Alltoall, JobConfig::new(2, 8, 100));
+        assert_eq!(a, Algorithm::Alltoall(AlltoallAlgo::Bruck));
+    }
+}

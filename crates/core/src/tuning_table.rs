@@ -1,0 +1,242 @@
+//! Tuning tables — the JSON artifact the online-inference stage emits
+//! (Fig. 4) and the MPI library reads at application runtime.
+//!
+//! A table maps (#nodes, PPN, message size) to the algorithm to use. Lookup
+//! is total: query points that fall between grid entries resolve to the
+//! geometrically nearest bucket (message sizes and node counts live on
+//! log-scale grids).
+
+use pml_collectives::{Algorithm, Collective};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tuning-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    pub nodes: u32,
+    pub ppn: u32,
+    pub msg_size: u64,
+    pub algorithm: Algorithm,
+}
+
+/// A per-(cluster, collective) tuning table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningTable {
+    pub cluster: String,
+    pub collective: Collective,
+    entries: Vec<TableEntry>,
+}
+
+impl TuningTable {
+    pub fn new(cluster: impl Into<String>, collective: Collective) -> Self {
+        TuningTable {
+            cluster: cluster.into(),
+            collective,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert or replace the entry for a grid point.
+    pub fn insert(&mut self, nodes: u32, ppn: u32, msg_size: u64, algorithm: Algorithm) {
+        assert_eq!(
+            algorithm.collective(),
+            self.collective,
+            "algorithm belongs to a different collective"
+        );
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.nodes == nodes && e.ppn == ppn && e.msg_size == msg_size)
+        {
+            Some(e) => e.algorithm = algorithm,
+            None => self.entries.push(TableEntry {
+                nodes,
+                ppn,
+                msg_size,
+                algorithm,
+            }),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, nodes: u32, ppn: u32, msg_size: u64) -> Option<Algorithm> {
+        self.entries
+            .iter()
+            .find(|e| e.nodes == nodes && e.ppn == ppn && e.msg_size == msg_size)
+            .map(|e| e.algorithm)
+    }
+
+    /// Nearest-bucket lookup: log-scale distance over (nodes, ppn, msg),
+    /// with the job-shape dimensions weighted above message size so a query
+    /// never jumps to a different machine scale just to match a size.
+    /// Returns `None` only for an empty table.
+    pub fn lookup(&self, nodes: u32, ppn: u32, msg_size: u64) -> Option<Algorithm> {
+        fn lg(x: f64) -> f64 {
+            x.max(1.0).log2()
+        }
+        self.entries
+            .iter()
+            .map(|e| {
+                let d = 4.0 * (lg(e.nodes as f64) - lg(nodes as f64)).abs()
+                    + 4.0 * (lg(e.ppn as f64) - lg(ppn as f64)).abs()
+                    + (lg(e.msg_size as f64) - lg(msg_size as f64)).abs();
+                (d, e)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, e)| e.algorithm)
+    }
+
+    /// Serialize to the JSON wire format stored next to the MPI library.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tuning table serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Sort entries for stable output (nodes, ppn, msg).
+    pub fn normalize(&mut self) {
+        self.entries.sort_by_key(|e| (e.nodes, e.ppn, e.msg_size));
+    }
+}
+
+/// The compile-time table cache of Fig. 4: "the framework examines whether
+/// a tuning table for the current cluster exists … if present, bypasses the
+/// ML tuning process."
+#[derive(Debug, Default, Clone)]
+pub struct TableStore {
+    tables: BTreeMap<(String, Collective), TuningTable>,
+}
+
+impl TableStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn contains(&self, cluster: &str, collective: Collective) -> bool {
+        self.tables.contains_key(&(cluster.to_string(), collective))
+    }
+
+    pub fn get(&self, cluster: &str, collective: Collective) -> Option<&TuningTable> {
+        self.tables.get(&(cluster.to_string(), collective))
+    }
+
+    pub fn put(&mut self, table: TuningTable) {
+        self.tables
+            .insert((table.cluster.clone(), table.collective), table);
+    }
+
+    /// Fetch the cached table or build one with `make` and cache it.
+    /// Returns (table, was_cached).
+    pub fn get_or_insert_with(
+        &mut self,
+        cluster: &str,
+        collective: Collective,
+        make: impl FnOnce() -> TuningTable,
+    ) -> (&TuningTable, bool) {
+        let key = (cluster.to_string(), collective);
+        let cached = self.tables.contains_key(&key);
+        let t = self.tables.entry(key).or_insert_with(make);
+        (t, cached)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_collectives::{AllgatherAlgo, AlltoallAlgo};
+
+    fn table() -> TuningTable {
+        let mut t = TuningTable::new("X", Collective::Alltoall);
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck));
+        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise));
+        t.insert(16, 8, 64, Algorithm::Alltoall(AlltoallAlgo::ScatterDest));
+        t
+    }
+
+    #[test]
+    fn exact_and_nearest_lookup() {
+        let t = table();
+        assert_eq!(
+            t.get(2, 8, 64),
+            Some(Algorithm::Alltoall(AlltoallAlgo::Bruck))
+        );
+        assert_eq!(t.get(2, 8, 100), None);
+        // 100 bytes is nearest to the 64-byte bucket at the same shape.
+        assert_eq!(
+            t.lookup(2, 8, 100),
+            Some(Algorithm::Alltoall(AlltoallAlgo::Bruck))
+        );
+        // Shape dominates: a 16-node query at small size picks the 16-node row.
+        assert_eq!(
+            t.lookup(16, 8, 256),
+            Some(Algorithm::Alltoall(AlltoallAlgo::ScatterDest))
+        );
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = table();
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Inplace));
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.get(2, 8, 64),
+            Some(Algorithm::Alltoall(AlltoallAlgo::Inplace))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different collective")]
+    fn cross_collective_insert_rejected() {
+        let mut t = table();
+        t.insert(1, 1, 1, Algorithm::Allgather(AllgatherAlgo::Ring));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = table();
+        t.normalize();
+        let back = TuningTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_table_lookup_is_none() {
+        let t = TuningTable::new("X", Collective::Allgather);
+        assert_eq!(t.lookup(1, 1, 1), None);
+    }
+
+    #[test]
+    fn store_caches() {
+        let mut store = TableStore::new();
+        assert!(!store.contains("X", Collective::Alltoall));
+        let (_, cached) = store.get_or_insert_with("X", Collective::Alltoall, table);
+        assert!(!cached);
+        let (_, cached) = store.get_or_insert_with("X", Collective::Alltoall, || {
+            panic!("must not rebuild a cached table")
+        });
+        assert!(cached);
+        assert_eq!(store.len(), 1);
+    }
+}

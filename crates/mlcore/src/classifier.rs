@@ -1,0 +1,33 @@
+//! The common classifier interface all four paper models implement.
+
+use crate::matrix::Matrix;
+use crate::tree::argmax;
+
+/// A multiclass probabilistic classifier.
+pub trait Classifier {
+    /// Fit on features `x` and labels `y` (each in `0..n_classes`).
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize);
+
+    /// Class-probability (or score, normalized) vector for one sample.
+    fn predict_proba_row(&self, row: &[f64]) -> Vec<f64>;
+
+    /// Number of classes the model was fit with.
+    fn n_classes(&self) -> usize;
+
+    /// Class-probability matrix, one row per sample.
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_classes());
+        for i in 0..x.rows() {
+            let p = self.predict_proba_row(x.row(i));
+            out.row_mut(i).copy_from_slice(&p);
+        }
+        out
+    }
+
+    /// Hard predictions (argmax of the probability vector).
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|i| argmax(&self.predict_proba_row(x.row(i))))
+            .collect()
+    }
+}

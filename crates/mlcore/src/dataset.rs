@@ -1,0 +1,99 @@
+//! Labelled dataset: a feature matrix, integer class labels, and metadata.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub x: Matrix,
+    /// Class label per row, in `0..n_classes`.
+    pub y: Vec<usize>,
+    pub n_classes: usize,
+    /// Column names (for feature-importance reports).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    pub fn new(x: Matrix, y: Vec<usize>, n_classes: usize, feature_names: Vec<String>) -> Self {
+        assert_eq!(x.rows(), y.len(), "one label per row required");
+        assert_eq!(
+            x.cols(),
+            feature_names.len(),
+            "one name per feature required"
+        );
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        Dataset {
+            x,
+            y,
+            n_classes,
+            feature_names,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Sub-dataset of the given rows (order preserved).
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(idx),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &c in &self.y {
+            counts[c] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows([[0.0, 1.0], [1.0, 0.0], [2.0, 2.0]]),
+            vec![0, 1, 1],
+            2,
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class_counts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_subsets() {
+        let d = toy().select(&[2, 0]);
+        assert_eq!(d.y, vec![1, 0]);
+        assert_eq!(d.x.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_checked() {
+        Dataset::new(Matrix::from_rows([[0.0]]), vec![3], 2, vec!["a".into()]);
+    }
+}

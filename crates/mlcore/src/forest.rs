@@ -1,0 +1,289 @@
+//! Random Forest classifier — the model the paper selects (§V-C), with the
+//! Gini-decrease feature importances behind its Figs. 5–6.
+
+use crate::classifier::Classifier;
+use crate::matrix::Matrix;
+use crate::tree::{normalize, DecisionTree, MaxFeatures, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Random Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    pub n_estimators: usize,
+    pub max_depth: Option<usize>,
+    pub min_samples_split: usize,
+    pub min_samples_leaf: usize,
+    pub max_features: MaxFeatures,
+    /// Bootstrap-sample each tree's training set.
+    pub bootstrap: bool,
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_estimators: 100,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Bagged ensemble of Gini CART trees with per-split feature subsampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    params: ForestParams,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+    oob_score: Option<f64>,
+}
+
+impl RandomForest {
+    pub fn new(params: ForestParams) -> Self {
+        assert!(params.n_estimators >= 1, "need at least one tree");
+        RandomForest {
+            params,
+            trees: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+            oob_score: None,
+        }
+    }
+
+    pub fn params(&self) -> &ForestParams {
+        &self.params
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Out-of-bag accuracy estimate (only available with bootstrap).
+    pub fn oob_score(&self) -> Option<f64> {
+        self.oob_score
+    }
+
+    /// Mean decrease in Gini impurity per feature, accumulated over all
+    /// trees and normalized to sum 1 — the paper's Eq. (1) importance.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (a, r) in acc.iter_mut().zip(t.raw_importance()) {
+                *a += r;
+            }
+        }
+        normalize(acc)
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.rows(), y.len(), "one label per row");
+        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        self.n_classes = n_classes;
+        self.n_features = x.cols();
+        let n = x.rows();
+        let tree_params = TreeParams {
+            max_depth: self.params.max_depth,
+            min_samples_split: self.params.min_samples_split,
+            min_samples_leaf: self.params.min_samples_leaf,
+            max_features: self.params.max_features,
+        };
+
+        // Per-tree seeds derived up front so training can run in parallel
+        // yet stay deterministic.
+        let seeds: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(self.params.seed);
+            (0..self.params.n_estimators).map(|_| rng.gen()).collect()
+        };
+
+        let bootstrap = self.params.bootstrap;
+        let fitted: Vec<(DecisionTree, Vec<usize>)> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let sample: Vec<usize> = if bootstrap {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                let xs = x.select_rows(&sample);
+                let ys: Vec<usize> = sample.iter().map(|&i| y[i]).collect();
+                (
+                    DecisionTree::fit(&xs, &ys, n_classes, &tree_params, &mut rng),
+                    sample,
+                )
+            })
+            .collect();
+
+        // OOB score: vote each sample with the trees that never saw it.
+        self.oob_score = if bootstrap {
+            let mut votes = vec![vec![0.0f64; n_classes]; n];
+            let mut any = vec![false; n];
+            for (tree, sample) in &fitted {
+                let mut in_bag = vec![false; n];
+                for &i in sample {
+                    in_bag[i] = true;
+                }
+                for i in 0..n {
+                    if !in_bag[i] {
+                        let p = tree.predict_proba_row(x.row(i));
+                        for (v, pi) in votes[i].iter_mut().zip(&p) {
+                            *v += pi;
+                        }
+                        any[i] = true;
+                    }
+                }
+            }
+            let mut correct = 0usize;
+            let mut counted = 0usize;
+            for i in 0..n {
+                if any[i] {
+                    counted += 1;
+                    if crate::tree::argmax(&votes[i]) == y[i] {
+                        correct += 1;
+                    }
+                }
+            }
+            (counted > 0).then(|| correct as f64 / counted as f64)
+        } else {
+            None
+        };
+
+        self.trees = fitted.into_iter().map(|(t, _)| t).collect();
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut acc = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            for (a, p) in acc.iter_mut().zip(t.predict_proba_row(row)) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Noisy two-moon-ish data: class = x0 + noise > x1.
+    fn noisy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            rows.push(vec![a, b, rng.gen_range(0.0..1.0)]); // third column: noise
+            y.push(usize::from(a + noise > b));
+        }
+        (Matrix::from_rows(rows), y)
+    }
+
+    #[test]
+    fn learns_noisy_boundary() {
+        let (x, y) = noisy_data(400, 1);
+        let (xt, yt) = noisy_data(200, 2);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 40,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2);
+        let acc = crate::metrics::accuracy(&yt, &f.predict(&xt));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_data(100, 3);
+        let mut a = RandomForest::new(ForestParams {
+            n_estimators: 10,
+            seed: 7,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(ForestParams {
+            n_estimators: 10,
+            seed: 7,
+            ..Default::default()
+        });
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oob_score_close_to_holdout_accuracy() {
+        let (x, y) = noisy_data(500, 4);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 60,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2);
+        let oob = f.oob_score().unwrap();
+        assert!(oob > 0.85, "oob {oob}");
+    }
+
+    #[test]
+    fn importances_ignore_pure_noise_feature() {
+        let (x, y) = noisy_data(600, 5);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 40,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2);
+        let imp = f.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Informative features dominate the noise column.
+        assert!(imp[0] > imp[2] && imp[1] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let (x, y) = noisy_data(100, 6);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 15,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2);
+        let p = f.predict_proba(&x);
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (x, y) = noisy_data(80, 8);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 8,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(f.predict(&x), back.predict(&x));
+    }
+}

@@ -1,0 +1,171 @@
+//! Dense row-major feature matrix.
+//!
+//! Deliberately minimal: the dataset here is ~10⁴ rows × 14 columns, so a
+//! contiguous `Vec<f64>` with row views is all the linear algebra this
+//! project needs — no BLAS, no ndarray.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Build from row-major data. Panics unless `data.len() == rows·cols`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { data, rows, cols }
+    }
+
+    /// Build from an iterator of rows. Panics on ragged input.
+    pub fn from_rows<I, R>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        let mut data = Vec::new();
+        let mut n_rows = 0;
+        let mut n_cols = None;
+        for row in rows {
+            let row = row.as_ref();
+            match n_cols {
+                None => n_cols = Some(row.len()),
+                Some(c) => assert_eq!(c, row.len(), "ragged rows"),
+            }
+            data.extend_from_slice(row);
+            n_rows += 1;
+        }
+        Matrix {
+            data,
+            rows: n_rows,
+            cols: n_cols.unwrap_or(0),
+        }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// View of row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// New matrix containing the given rows, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            data,
+            rows: idx.len(),
+            cols: self.cols,
+        }
+    }
+
+    /// Iterator over row views.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Per-column mean and standard deviation (population), used by the
+    /// distance/margin-based models that need standardized inputs.
+    pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut mean = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std: Vec<f64> = var.iter().map(|s| (s / n).sqrt()).collect();
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = Matrix::from_rows([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = Matrix::from_rows([[1.0], [2.0], [3.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn column_stats() {
+        let m = Matrix::from_rows([[1.0, 10.0], [3.0, 10.0]]);
+        let (mean, std) = m.column_stats();
+        assert_eq!(mean, vec![2.0, 10.0]);
+        assert_eq!(std[0], 1.0);
+        assert_eq!(std[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn bad_shape_rejected() {
+        Matrix::from_vec(vec![1.0, 2.0, 3.0], 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        Matrix::from_rows([vec![1.0], vec![1.0, 2.0]]);
+    }
+}

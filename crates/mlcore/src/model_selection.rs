@@ -1,0 +1,179 @@
+//! Train/test splitting, stratified k-fold cross-validation, and grid
+//! search — the paper's "extensive hyperparameter tuning" machinery, with
+//! AUC as the CV criterion (§V-C).
+
+use crate::classifier::Classifier;
+use crate::dataset::Dataset;
+use crate::metrics::{accuracy, macro_ovr_auc};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled train/test split: `test_fraction` of rows go to the test set.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((data.len() as f64) * test_fraction).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(n_test.min(data.len()));
+    (data.select(train_idx), data.select(test_idx))
+}
+
+/// Stratified k-fold assignment: `fold[i]` in `0..k`, with each class's
+/// samples spread evenly over folds.
+pub fn stratified_folds(y: &[usize], n_classes: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold = vec![0usize; y.len()];
+    for c in 0..n_classes {
+        let mut members: Vec<usize> = (0..y.len()).filter(|&i| y[i] == c).collect();
+        members.shuffle(&mut rng);
+        for (pos, &i) in members.iter().enumerate() {
+            fold[i] = pos % k;
+        }
+    }
+    fold
+}
+
+/// What a cross-validation run optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scoring {
+    Accuracy,
+    /// Macro one-vs-rest ROC AUC — robust to class imbalance, the paper's
+    /// choice during CV.
+    MacroAuc,
+}
+
+/// Mean k-fold cross-validation score for a model factory.
+pub fn cross_val_score<M, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    scoring: Scoring,
+    make_model: F,
+) -> f64
+where
+    M: Classifier,
+    F: Fn() -> M,
+{
+    let folds = stratified_folds(&data.y, data.n_classes, k, seed);
+    let mut total = 0.0;
+    for f in 0..k {
+        let train_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != f).collect();
+        let val_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == f).collect();
+        if train_idx.is_empty() || val_idx.is_empty() {
+            continue;
+        }
+        let train = data.select(&train_idx);
+        let val = data.select(&val_idx);
+        let mut model = make_model();
+        model.fit(&train.x, &train.y, data.n_classes);
+        total += match scoring {
+            Scoring::Accuracy => accuracy(&val.y, &model.predict(&val.x)),
+            Scoring::MacroAuc => macro_ovr_auc(&val.y, &model.predict_proba(&val.x)),
+        };
+    }
+    total / k as f64
+}
+
+/// Exhaustive grid search: evaluates `make_model(params)` for every
+/// candidate by k-fold CV and returns (best params, best score).
+pub fn grid_search<P, M, F>(
+    data: &Dataset,
+    candidates: &[P],
+    k: usize,
+    seed: u64,
+    scoring: Scoring,
+    make_model: F,
+) -> (P, f64)
+where
+    P: Clone,
+    M: Classifier,
+    F: Fn(&P) -> M,
+{
+    assert!(!candidates.is_empty(), "grid search needs candidates");
+    let mut best: Option<(P, f64)> = None;
+    for p in candidates {
+        let score = cross_val_score(data, k, seed, scoring, || make_model(p));
+        if best.as_ref().is_none_or(|(_, bs)| score > *bs) {
+            best = Some((p.clone(), score));
+        }
+    }
+    best.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+    use crate::matrix::Matrix;
+    use rand::Rng;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            rows.push(vec![a, b]);
+            y.push(usize::from(a > b));
+        }
+        Dataset::new(Matrix::from_rows(rows), y, 2, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn split_partitions_data() {
+        let d = dataset(100, 1);
+        let (train, test) = train_test_split(&d, 0.3, 42);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset(50, 2);
+        let (a, _) = train_test_split(&d, 0.3, 7);
+        let (b, _) = train_test_split(&d, 0.3, 7);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i < 20)).collect();
+        let folds = stratified_folds(&y, 2, 5, 0);
+        for f in 0..5 {
+            let minority = (0..100).filter(|&i| folds[i] == f && y[i] == 1).count();
+            assert_eq!(minority, 4); // 20 minority samples over 5 folds
+        }
+    }
+
+    #[test]
+    fn cross_val_scores_sensibly() {
+        let d = dataset(200, 3);
+        let score = cross_val_score(&d, 5, 0, Scoring::Accuracy, || {
+            RandomForest::new(ForestParams {
+                n_estimators: 15,
+                ..Default::default()
+            })
+        });
+        assert!(score > 0.85, "cv accuracy {score}");
+    }
+
+    #[test]
+    fn grid_search_prefers_more_trees() {
+        let d = dataset(150, 4);
+        let candidates = vec![1usize, 25];
+        let (best, score) = grid_search(&d, &candidates, 4, 0, Scoring::MacroAuc, |&n| {
+            RandomForest::new(ForestParams {
+                n_estimators: n,
+                ..Default::default()
+            })
+        });
+        assert_eq!(best, 25);
+        assert!(score > 0.9);
+    }
+}

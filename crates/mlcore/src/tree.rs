@@ -1,0 +1,570 @@
+//! CART decision trees: a Gini classification tree (the building block of
+//! the Random Forest) and an MSE regression tree (the weak learner inside
+//! Gradient Boosting).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How many candidate features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// Every feature (plain CART).
+    All,
+    /// ⌈√d⌉ random features — the Random Forest default.
+    Sqrt,
+    /// ⌈log₂ d⌉ random features.
+    Log2,
+    /// Exactly this many random features.
+    Count(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, d: usize) -> usize {
+        match self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (d as f64).log2().ceil().max(1.0) as usize,
+            MaxFeatures::Count(k) => k.clamp(1, d),
+        }
+    }
+}
+
+/// Growth limits shared by both tree kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    pub max_depth: Option<usize>,
+    pub min_samples_split: usize,
+    pub min_samples_leaf: usize,
+    pub max_features: MaxFeatures,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Class-probability leaf (classification) or mean-value leaf
+    /// (regression, stored as a 1-element vector).
+    Leaf { value: Vec<f64> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// Walk shared by both tree kinds.
+fn descend(nodes: &[Node], row: &[f64]) -> usize {
+    let mut i = 0usize;
+    loop {
+        match &nodes[i] {
+            Node::Leaf { .. } => return i,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                i = if row[*feature] <= *threshold {
+                    *left as usize
+                } else {
+                    *right as usize
+                };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+/// Gini-impurity CART classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+    /// Unnormalized Gini-decrease importance per feature.
+    raw_importance: Vec<f64>,
+}
+
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|c| (c / total) * (c / total))
+        .sum::<f64>()
+}
+
+impl DecisionTree {
+    /// Fit on `x`/`y`. The RNG drives the per-split feature subsampling
+    /// (only relevant when `max_features != All`).
+    pub fn fit(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len(), "one label per row");
+        assert!(n_classes >= 1);
+        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+            raw_importance: vec![0.0; x.cols()],
+        };
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let n_total = x.rows() as f64;
+        tree.grow(x, y, idx, params, rng, 0, n_total);
+        tree
+    }
+
+    fn leaf_from(&mut self, y: &[usize], idx: &[usize]) -> u32 {
+        let mut dist = vec![0.0; self.n_classes];
+        for &i in idx {
+            dist[y[i]] += 1.0;
+        }
+        let total: f64 = dist.iter().sum();
+        for d in &mut dist {
+            *d /= total;
+        }
+        self.nodes.push(Node::Leaf { value: dist });
+        (self.nodes.len() - 1) as u32
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        idx: Vec<usize>,
+        params: &TreeParams,
+        rng: &mut StdRng,
+        depth: usize,
+        n_total: f64,
+    ) -> u32 {
+        let n = idx.len();
+        let mut counts = vec![0.0f64; self.n_classes];
+        for &i in &idx {
+            counts[y[i]] += 1.0;
+        }
+        let impurity = gini(&counts, n as f64);
+        let depth_stop = params.max_depth.is_some_and(|d| depth >= d);
+        if impurity == 0.0 || n < params.min_samples_split || depth_stop {
+            return self.leaf_from(y, &idx);
+        }
+
+        // Feature subset for this split.
+        let d = x.cols();
+        let k = params.max_features.resolve(d);
+        let features: Vec<usize> = if k >= d {
+            (0..d).collect()
+        } else {
+            let mut all: Vec<usize> = (0..d).collect();
+            all.shuffle(rng);
+            let mut subset = all[..k].to_vec();
+            subset.sort_unstable();
+            subset
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, decrease)
+        let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for &f in &features {
+            sorted.clear();
+            sorted.extend(idx.iter().map(|&i| (x.get(i, f), y[i])));
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut left = vec![0.0f64; self.n_classes];
+            let mut right = counts.clone();
+            for split_at in 1..n {
+                let (v_prev, c_prev) = sorted[split_at - 1];
+                left[c_prev] += 1.0;
+                right[c_prev] -= 1.0;
+                let v_next = sorted[split_at].0;
+                if v_prev == v_next {
+                    continue; // cannot split between equal values
+                }
+                let nl = split_at;
+                let nr = n - split_at;
+                if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                    continue;
+                }
+                let w_impurity = (nl as f64 * gini(&left, nl as f64)
+                    + nr as f64 * gini(&right, nr as f64))
+                    / n as f64;
+                let decrease = impurity - w_impurity;
+                if best.map_or(decrease > 1e-12, |(_, _, bd)| decrease > bd + 1e-12) {
+                    best = Some((f, 0.5 * (v_prev + v_next), decrease));
+                }
+            }
+        }
+
+        let Some((feature, threshold, decrease)) = best else {
+            return self.leaf_from(y, &idx);
+        };
+        self.raw_importance[feature] += (n as f64 / n_total) * decrease;
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| x.get(i, feature) <= threshold);
+        // Reserve this node's slot before growing children.
+        self.nodes.push(Node::Leaf { value: Vec::new() });
+        let me = (self.nodes.len() - 1) as u32;
+        let left = self.grow(x, y, left_idx, params, rng, depth + 1, n_total);
+        let right = self.grow(x, y, right_idx, params, rng, depth + 1, n_total);
+        self.nodes[me as usize] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + rec(nodes, *left as usize).max(rec(nodes, *right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Class-probability vector for one sample.
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        match &self.nodes[descend(&self.nodes, row)] {
+            Node::Leaf { value } => value.clone(),
+            Node::Split { .. } => unreachable!("descend stops at leaves"),
+        }
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        argmax(&self.predict_proba_row(row))
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Unnormalized accumulated Gini decrease per feature (the forest sums
+    /// these across trees before normalizing).
+    pub fn raw_importance(&self) -> &[f64] {
+        &self.raw_importance
+    }
+
+    /// Normalized feature importance (sums to 1 when any split exists).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        normalize(self.raw_importance.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression
+// ---------------------------------------------------------------------------
+
+/// MSE (variance-reduction) CART regressor, the gradient-boosting weak
+/// learner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    raw_importance: Vec<f64>,
+}
+
+impl RegressionTree {
+    pub fn fit(x: &Matrix, y: &[f64], params: &TreeParams, rng: &mut StdRng) -> Self {
+        assert_eq!(x.rows(), y.len(), "one target per row");
+        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            raw_importance: vec![0.0; x.cols()],
+        };
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let n_total = x.rows() as f64;
+        tree.grow(x, y, idx, params, rng, 0, n_total);
+        tree
+    }
+
+    fn leaf_from(&mut self, y: &[f64], idx: &[usize]) -> u32 {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        self.nodes.push(Node::Leaf { value: vec![mean] });
+        (self.nodes.len() - 1) as u32
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        idx: Vec<usize>,
+        params: &TreeParams,
+        rng: &mut StdRng,
+        depth: usize,
+        n_total: f64,
+    ) -> u32 {
+        let n = idx.len();
+        let sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let sum2: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+        let var = (sum2 - sum * sum / n as f64).max(0.0) / n as f64;
+        let depth_stop = params.max_depth.is_some_and(|d| depth >= d);
+        if var <= 1e-18 || n < params.min_samples_split || depth_stop {
+            return self.leaf_from(y, &idx);
+        }
+
+        let d = x.cols();
+        let k = params.max_features.resolve(d);
+        let features: Vec<usize> = if k >= d {
+            (0..d).collect()
+        } else {
+            let mut all: Vec<usize> = (0..d).collect();
+            all.shuffle(rng);
+            let mut subset = all[..k].to_vec();
+            subset.sort_unstable();
+            subset
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sorted: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for &f in &features {
+            sorted.clear();
+            sorted.extend(idx.iter().map(|&i| (x.get(i, f), y[i])));
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut lsum = 0.0;
+            let mut lsum2 = 0.0;
+            let mut rsum = sum;
+            let mut rsum2 = sum2;
+            for split_at in 1..n {
+                let (v_prev, t_prev) = sorted[split_at - 1];
+                lsum += t_prev;
+                lsum2 += t_prev * t_prev;
+                rsum -= t_prev;
+                rsum2 -= t_prev * t_prev;
+                let v_next = sorted[split_at].0;
+                if v_prev == v_next {
+                    continue;
+                }
+                let nl = split_at as f64;
+                let nr = (n - split_at) as f64;
+                if (nl as usize) < params.min_samples_leaf
+                    || (nr as usize) < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let sse = (lsum2 - lsum * lsum / nl) + (rsum2 - rsum * rsum / nr);
+                let decrease = var - sse / n as f64;
+                if best.map_or(decrease > 1e-15, |(_, _, bd)| decrease > bd + 1e-15) {
+                    best = Some((f, 0.5 * (v_prev + v_next), decrease));
+                }
+            }
+        }
+
+        let Some((feature, threshold, decrease)) = best else {
+            return self.leaf_from(y, &idx);
+        };
+        self.raw_importance[feature] += (n as f64 / n_total) * decrease;
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| x.get(i, feature) <= threshold);
+        self.nodes.push(Node::Leaf { value: Vec::new() });
+        let me = (self.nodes.len() - 1) as u32;
+        let left = self.grow(x, y, left_idx, params, rng, depth + 1, n_total);
+        let right = self.grow(x, y, right_idx, params, rng, depth + 1, n_total);
+        self.nodes[me as usize] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match &self.nodes[descend(&self.nodes, row)] {
+            Node::Leaf { value } => value[0],
+            Node::Split { .. } => unreachable!("descend stops at leaves"),
+        }
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    pub fn raw_importance(&self) -> &[f64] {
+        &self.raw_importance
+    }
+}
+
+/// Index of the maximum element (first wins ties).
+pub fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Normalize a non-negative vector to sum 1 (identity on all-zero input).
+pub fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in &mut v {
+            *x /= s;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    /// Two clearly separable blobs.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let j = i as f64 * 0.01;
+            rows.push(vec![j, 1.0 + j]);
+            y.push(0);
+            rows.push(vec![5.0 + j, 6.0 + j]);
+            y.push(1);
+        }
+        (Matrix::from_rows(rows), y)
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let (x, y) = blobs();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        assert_eq!(t.predict(&x), y);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows([[1.0], [2.0], [3.0]]);
+        let y = vec![1, 1, 1];
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_proba_row(&[5.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (x, y) = blobs();
+        let params = TreeParams {
+            max_depth: Some(1),
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&x, &y, 2, &params, &mut rng());
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x = Matrix::from_rows([[0.0], [1.0], [2.0], [3.0]]);
+        let y = vec![0, 0, 0, 1];
+        let params = TreeParams {
+            min_samples_leaf: 2,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&x, &y, 2, &params, &mut rng());
+        // Only split leaving >= 2 on each side is between index 1 and 2.
+        if let Node::Split { threshold, .. } = &t.nodes[0] {
+            assert!((1.0..2.0).contains(threshold));
+        }
+    }
+
+    #[test]
+    fn importances_sum_to_one_and_pick_informative_feature() {
+        // Feature 1 is informative, feature 0 is constant.
+        let x = Matrix::from_rows([[7.0, 0.0], [7.0, 1.0], [7.0, 10.0], [7.0, 11.0]]);
+        let y = vec![0, 0, 1, 1];
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        let imp = t.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(imp[0], 0.0);
+        assert!((imp[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs();
+        let params = TreeParams {
+            max_features: MaxFeatures::Count(1),
+            ..Default::default()
+        };
+        let a = DecisionTree::fit(&x, &y, 2, &params, &mut StdRng::seed_from_u64(9));
+        let b = DecisionTree::fit(&x, &y, 2, &params, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Matrix::from_rows([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]]);
+        let y = vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let t = RegressionTree::fit(&x, &y, &TreeParams::default(), &mut rng());
+        assert!((t.predict_row(&[1.5]) - 1.0).abs() < 1e-9);
+        assert!((t.predict_row(&[11.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_constant_target_single_leaf() {
+        let x = Matrix::from_rows([[0.0], [1.0], [2.0]]);
+        let y = vec![3.0, 3.0, 3.0];
+        let t = RegressionTree::fit(&x, &y, &TreeParams::default(), &mut rng());
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.predict_row(&[9.0]), 3.0);
+    }
+
+    #[test]
+    fn tree_serde_roundtrip() {
+        let (x, y) = blobs();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn argmax_first_wins_ties() {
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+    }
+}

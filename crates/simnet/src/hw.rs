@@ -1,0 +1,301 @@
+//! Hardware descriptions: CPUs, interconnects, nodes, and whole clusters.
+//!
+//! These types carry exactly the hardware-feature surface the PML-MPI paper
+//! feeds to its classifier (§V-A): CPU max clock, L3 cache, memory bandwidth,
+//! core/thread/socket/NUMA counts, PCIe lanes and version, and the HCA link
+//! speed and width. Everything else about a machine is deliberately absent — the
+//! model must generalize from these features alone, nothing else.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU vendor/ISA family. Only used for display; the classifier never sees
+/// it (the paper deliberately avoids categorical CPU features).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuFamily {
+    IntelXeon,
+    IntelXeonPhi,
+    AmdEpyc,
+    ArmThunderX2,
+    ArmA64fx,
+    IbmPower8,
+    IbmPower9,
+}
+
+/// A processor model, as reported by `lscpu` on the paper's clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Marketing name, e.g. "Intel Xeon Platinum 8280".
+    pub model: String,
+    pub family: CpuFamily,
+    /// Maximum (turbo) clock in GHz. The paper uses max over base clock
+    /// because MPI jobs run hot enough to hold turbo.
+    pub max_clock_ghz: f64,
+    /// Total L3 cache per node in MiB.
+    pub l3_cache_mib: f64,
+    /// Sustained memory bandwidth per node in GB/s (STREAM-like).
+    pub mem_bw_gbs: f64,
+    /// Physical cores per node.
+    pub cores: u32,
+    /// Hardware threads per node (cores × SMT ways).
+    pub threads: u32,
+    /// CPU sockets per node.
+    pub sockets: u32,
+    /// NUMA domains per node.
+    pub numa_nodes: u32,
+}
+
+/// InfiniBand / Omni-Path generation. Determines per-lane signalling rate
+/// and the base injection latency of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HcaGeneration {
+    /// Mellanox QDR: 8 Gb/s data rate per lane (10 Gb/s signalling, 8b/10b).
+    Qdr,
+    /// Mellanox FDR: ~13.64 Gb/s per lane (14.0625 Gb/s, 64b/66b).
+    Fdr,
+    /// Mellanox EDR: 25 Gb/s per lane.
+    Edr,
+    /// Mellanox HDR: 50 Gb/s per lane.
+    Hdr,
+    /// Intel Omni-Path: 25 Gb/s per lane (100 Gb/s at x4).
+    OmniPath,
+}
+
+impl HcaGeneration {
+    /// Usable data rate per lane in Gb/s.
+    pub fn lane_rate_gbps(self) -> f64 {
+        match self {
+            HcaGeneration::Qdr => 8.0,
+            HcaGeneration::Fdr => 13.64,
+            HcaGeneration::Edr => 25.0,
+            HcaGeneration::Hdr => 50.0,
+            HcaGeneration::OmniPath => 25.0,
+        }
+    }
+
+    /// Base one-way MPI-level small-message latency of the fabric, seconds.
+    /// Newer generations have lower switch + HCA latency; Omni-Path has
+    /// slightly higher small-message overhead than contemporary IB (EDR).
+    pub fn base_latency_s(self) -> f64 {
+        match self {
+            HcaGeneration::Qdr => 1.60e-6,
+            HcaGeneration::Fdr => 1.20e-6,
+            HcaGeneration::Edr => 0.90e-6,
+            HcaGeneration::Hdr => 0.75e-6,
+            HcaGeneration::OmniPath => 1.05e-6,
+        }
+    }
+
+    /// Per-message host software/driver overhead, seconds. Newer HCA
+    /// generations offload more of the message path; Omni-Path's onload
+    /// (PSM2) model burns more host CPU per message than contemporary
+    /// offloading InfiniBand. This is the main reason message-count-heavy
+    /// algorithms (Scatter-Dest's p−1 posts) fare differently across
+    /// fabrics of similar bandwidth.
+    pub fn per_msg_sw_overhead_s(self) -> f64 {
+        match self {
+            HcaGeneration::Qdr => 0.90e-6,
+            HcaGeneration::Fdr => 0.55e-6,
+            HcaGeneration::Edr => 0.35e-6,
+            HcaGeneration::Hdr => 0.16e-6,
+            HcaGeneration::OmniPath => 0.50e-6,
+        }
+    }
+
+    /// Eager→rendezvous switch point in bytes. MPI stacks tune the eager
+    /// threshold to the fabric's bandwidth-delay product, so faster links
+    /// push rendezvous out to larger messages. This is one of the
+    /// strongest hardware-coupled behaviours a tuner can learn: the
+    /// large-message cost knee sits at a different size on every fabric.
+    pub fn eager_threshold_bytes(self) -> usize {
+        match self {
+            HcaGeneration::Qdr => 8 * 1024,
+            HcaGeneration::Fdr => 12 * 1024,
+            HcaGeneration::Edr => 16 * 1024,
+            HcaGeneration::Hdr => 64 * 1024,
+            HcaGeneration::OmniPath => 10 * 1024,
+        }
+    }
+
+    /// Sustained NIC message rate (messages/second). Newer HCAs process
+    /// small messages vastly faster; the per-message slot occupies the NIC
+    /// alongside wire serialization, so message-count-heavy algorithms
+    /// degrade on old fabrics and at high PPN.
+    pub fn msg_rate_per_s(self) -> f64 {
+        match self {
+            HcaGeneration::Qdr => 4.0e6,
+            HcaGeneration::Fdr => 10.0e6,
+            HcaGeneration::Edr => 30.0e6,
+            HcaGeneration::Hdr => 150.0e6,
+            HcaGeneration::OmniPath => 40.0e6,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            HcaGeneration::Qdr => "InfiniBand QDR",
+            HcaGeneration::Fdr => "InfiniBand FDR",
+            HcaGeneration::Edr => "InfiniBand EDR",
+            HcaGeneration::Hdr => "InfiniBand HDR",
+            HcaGeneration::OmniPath => "Omni-Path",
+        }
+    }
+}
+
+/// PCIe generation of the slot the HCA sits in. Caps achievable injection
+/// bandwidth regardless of link rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PcieVersion {
+    Gen3,
+    Gen4,
+}
+
+impl PcieVersion {
+    /// Usable bandwidth per lane in GB/s (after encoding overhead).
+    pub fn lane_bw_gbs(self) -> f64 {
+        match self {
+            PcieVersion::Gen3 => 0.985,
+            PcieVersion::Gen4 => 1.969,
+        }
+    }
+
+    pub fn number(self) -> u32 {
+        match self {
+            PcieVersion::Gen3 => 3,
+            PcieVersion::Gen4 => 4,
+        }
+    }
+}
+
+/// Host Channel Adapter + slot description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    pub generation: HcaGeneration,
+    /// Link width (number of lanes), almost always 4 in practice.
+    pub link_width: u32,
+    pub pcie_version: PcieVersion,
+    /// PCIe lanes wired to the HCA slot.
+    pub pcie_lanes: u32,
+}
+
+impl InterconnectSpec {
+    /// Convenience constructor for the common x4 HCA in a x16 slot.
+    pub fn new(generation: HcaGeneration, pcie_version: PcieVersion) -> Self {
+        InterconnectSpec {
+            generation,
+            link_width: 4,
+            pcie_version,
+            pcie_lanes: 16,
+        }
+    }
+
+    /// Raw link bandwidth in GB/s (lanes × per-lane rate / 8).
+    pub fn link_bw_gbs(&self) -> f64 {
+        self.generation.lane_rate_gbps() * self.link_width as f64 / 8.0
+    }
+
+    /// PCIe ceiling in GB/s.
+    pub fn pcie_bw_gbs(&self) -> f64 {
+        self.pcie_version.lane_bw_gbs() * self.pcie_lanes as f64
+    }
+
+    /// Effective injection bandwidth per node in bytes/second: the link
+    /// rate capped by the PCIe slot, with a protocol-efficiency factor.
+    pub fn effective_bw_bytes_per_s(&self) -> f64 {
+        const PROTOCOL_EFFICIENCY: f64 = 0.92;
+        self.link_bw_gbs().min(self.pcie_bw_gbs()) * 1e9 * PROTOCOL_EFFICIENCY
+    }
+}
+
+/// One compute node: a CPU spec plus its network attachment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    pub cpu: CpuSpec,
+    pub nic: InterconnectSpec,
+}
+
+/// A whole (homogeneous) cluster: `num_nodes` identical nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable cluster name, e.g. "Frontera".
+    pub name: String,
+    pub node: NodeSpec,
+    /// Nodes available on the machine (upper bound for job sizes).
+    pub num_nodes: u32,
+}
+
+impl ClusterSpec {
+    /// Largest process count a single node supports (one rank per hardware
+    /// thread).
+    pub fn max_ppn(&self) -> u32 {
+        self.node.cpu.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cluster() -> ClusterSpec {
+        ClusterSpec {
+            name: "Testor".into(),
+            node: NodeSpec {
+                cpu: CpuSpec {
+                    model: "Test CPU".into(),
+                    family: CpuFamily::IntelXeon,
+                    max_clock_ghz: 3.0,
+                    l3_cache_mib: 32.0,
+                    mem_bw_gbs: 100.0,
+                    cores: 16,
+                    threads: 32,
+                    sockets: 2,
+                    numa_nodes: 2,
+                },
+                nic: InterconnectSpec::new(HcaGeneration::Edr, PcieVersion::Gen3),
+            },
+            num_nodes: 8,
+        }
+    }
+
+    #[test]
+    fn lane_rates_increase_with_generation() {
+        assert!(HcaGeneration::Qdr.lane_rate_gbps() < HcaGeneration::Fdr.lane_rate_gbps());
+        assert!(HcaGeneration::Fdr.lane_rate_gbps() < HcaGeneration::Edr.lane_rate_gbps());
+        assert!(HcaGeneration::Edr.lane_rate_gbps() < HcaGeneration::Hdr.lane_rate_gbps());
+    }
+
+    #[test]
+    fn latency_decreases_with_generation() {
+        assert!(HcaGeneration::Qdr.base_latency_s() > HcaGeneration::Fdr.base_latency_s());
+        assert!(HcaGeneration::Fdr.base_latency_s() > HcaGeneration::Edr.base_latency_s());
+        assert!(HcaGeneration::Edr.base_latency_s() > HcaGeneration::Hdr.base_latency_s());
+    }
+
+    #[test]
+    fn edr_x4_is_100_gbps() {
+        let ic = InterconnectSpec::new(HcaGeneration::Edr, PcieVersion::Gen3);
+        assert!((ic.link_bw_gbs() - 12.5).abs() < 1e-9); // 100 Gb/s = 12.5 GB/s
+    }
+
+    #[test]
+    fn pcie_gen3_x16_caps_hdr() {
+        // HDR x4 = 25 GB/s link, but PCIe Gen3 x16 tops out at ~15.76 GB/s.
+        let ic = InterconnectSpec::new(HcaGeneration::Hdr, PcieVersion::Gen3);
+        assert!(ic.effective_bw_bytes_per_s() < 25.0e9 * 0.92);
+        // With Gen4 the link is no longer PCIe-bound.
+        let ic4 = InterconnectSpec::new(HcaGeneration::Hdr, PcieVersion::Gen4);
+        assert!(ic4.effective_bw_bytes_per_s() > ic.effective_bw_bytes_per_s());
+    }
+
+    #[test]
+    fn cluster_spec_serde_roundtrip() {
+        let c = sample_cluster();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn max_ppn_is_thread_count() {
+        assert_eq!(sample_cluster().max_ppn(), 32);
+    }
+}

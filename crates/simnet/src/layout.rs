@@ -1,0 +1,60 @@
+//! Process-to-node layout for a job.
+//!
+//! Ranks are laid out block-wise (the MVAPICH/Slurm default): ranks
+//! `0..ppn` on node 0, `ppn..2·ppn` on node 1, and so on.
+
+use serde::{Deserialize, Serialize};
+
+/// The (#nodes, PPN) shape of one MPI job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobLayout {
+    pub nodes: u32,
+    pub ppn: u32,
+}
+
+impl JobLayout {
+    pub fn new(nodes: u32, ppn: u32) -> Self {
+        assert!(nodes >= 1 && ppn >= 1, "job must have at least one rank");
+        JobLayout { nodes, ppn }
+    }
+
+    /// Total number of ranks.
+    pub fn world_size(&self) -> u32 {
+        self.nodes * self.ppn
+    }
+
+    /// Node index hosting `rank`.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        debug_assert!(rank < self.world_size());
+        rank / self.ppn
+    }
+
+    /// Whether two ranks share a node (communicate through memory, not the
+    /// fabric).
+    pub fn same_node(&self, a: u32, b: u32) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_layout() {
+        let l = JobLayout::new(3, 4);
+        assert_eq!(l.world_size(), 12);
+        assert_eq!(l.node_of(0), 0);
+        assert_eq!(l.node_of(3), 0);
+        assert_eq!(l.node_of(4), 1);
+        assert_eq!(l.node_of(11), 2);
+        assert!(l.same_node(4, 7));
+        assert!(!l.same_node(3, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        JobLayout::new(0, 4);
+    }
+}

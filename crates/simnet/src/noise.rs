@@ -1,0 +1,100 @@
+//! Network-condition noise.
+//!
+//! The paper (§III) acknowledges that dynamic factors — congestion from
+//! other jobs, adaptive routing, OS jitter — perturb collective timings, and
+//! mitigates them by averaging several iterations. We reproduce that with a
+//! seeded multiplicative log-normal perturbation applied to whole-collective
+//! runtimes: deterministic given a seed, mean ≈ 1, heavier right tail (a
+//! congested run is slow, never "anti-slow").
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative log-normal noise with unit median.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// σ of the underlying normal. 0 disables noise entirely.
+    pub sigma: f64,
+}
+
+impl NoiseModel {
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        NoiseModel { sigma }
+    }
+
+    /// No noise at all: `sample` always returns exactly 1.0.
+    pub fn disabled() -> Self {
+        NoiseModel { sigma: 0.0 }
+    }
+
+    /// Typical quiet-cluster variability (a few percent run to run).
+    pub fn typical() -> Self {
+        NoiseModel { sigma: 0.06 }
+    }
+
+    pub fn is_disabled(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// Draw one runtime multiplier.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let dist = LogNormal::new(0.0, self.sigma).expect("valid lognormal");
+        dist.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_noise_is_exactly_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = NoiseModel::disabled();
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn seeded_noise_is_deterministic() {
+        let n = NoiseModel::typical();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..16).map(|_| n.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..16).map(|_| n.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_is_positive_and_near_one() {
+        let n = NoiseModel::typical();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        let k = 4000;
+        for _ in 0..k {
+            let v = n.sample(&mut rng);
+            assert!(v > 0.0);
+            sum += v;
+        }
+        let mean = sum / k as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} drifted");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sigma_rejected() {
+        NoiseModel::new(-0.1);
+    }
+}
