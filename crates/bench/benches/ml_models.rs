@@ -15,7 +15,8 @@ fn bench_ml(c: &mut Criterion) {
     e.node_grid = vec![1, 2, 4];
     e.ppn_grid = vec![2, 8];
     e.msg_grid = vec![16, 1024, 65536];
-    let records = generate_cluster(&e, Collective::Alltoall, &DatagenConfig::noiseless());
+    let records =
+        generate_cluster(&e, Collective::Alltoall, &DatagenConfig::noiseless()).expect("datagen");
     let cfg = TrainConfig {
         forest: ForestParams {
             n_estimators: 50,
@@ -24,7 +25,7 @@ fn bench_ml(c: &mut Criterion) {
         },
         top_k_features: Some(5),
     };
-    let model = PretrainedModel::train(&records, Collective::Alltoall, &cfg);
+    let model = PretrainedModel::train(&records, Collective::Alltoall, &cfg).expect("train");
     let frontera = by_name("Frontera").unwrap();
 
     let mut g = c.benchmark_group("ml");

@@ -15,9 +15,13 @@ use pml_core::features::MPI_FEATURES;
 use pml_core::{records_to_dataset, JobConfig, PretrainedModel, TrainConfig};
 use pml_mlcore::metrics::accuracy;
 
-fn score(model: &PretrainedModel, test: &[pml_clusters::TuningRecord], coll: Collective) -> f64 {
-    let data = records_to_dataset(test, coll);
-    accuracy(&data.y, &model.predict_dataset(&data))
+fn score(
+    model: &PretrainedModel,
+    test: &[pml_clusters::TuningRecord],
+    coll: Collective,
+) -> Result<f64, pml_core::PmlError> {
+    let data = records_to_dataset(test, coll)?;
+    Ok(accuracy(&data.y, &model.predict_dataset(&data)))
 }
 
 /// Geomean slowdown of the model's picks relative to each record's true
@@ -37,14 +41,14 @@ fn slowdown(model: &PretrainedModel, test: &[pml_clusters::TuningRecord]) -> f64
     (log_sum / n as f64).exp()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for coll in [Collective::Allgather, Collective::Alltoall] {
-        let records = full_dataset(coll);
-        let ((train, test), held) = cluster_split_auto(&records, 0.7, 7);
+        let records = full_dataset(coll)?;
+        let ((train, test), held) = cluster_split_auto(&records, 0.7, 7)?;
         eprintln!("{coll}: testing on held-out clusters {held:?}");
 
-        let top5 = PretrainedModel::train(&train, coll, &standard_train());
+        let top5 = PretrainedModel::train(&train, coll, &standard_train())?;
         let all14 = PretrainedModel::train(
             &train,
             coll,
@@ -52,7 +56,7 @@ fn main() {
                 top_k_features: None,
                 ..standard_train()
             },
-        );
+        )?;
         let mpi_only = PretrainedModel::train_restricted(
             &train,
             coll,
@@ -61,22 +65,22 @@ fn main() {
                 ..standard_train()
             },
             &MPI_FEATURES,
-        );
+        )?;
         rows.push(vec![
             coll.to_string(),
             format!(
                 "{:.1}% / {:.2}x",
-                score(&top5, &test, coll) * 100.0,
+                score(&top5, &test, coll)? * 100.0,
                 slowdown(&top5, &test)
             ),
             format!(
                 "{:.1}% / {:.2}x",
-                score(&all14, &test, coll) * 100.0,
+                score(&all14, &test, coll)? * 100.0,
                 slowdown(&all14, &test)
             ),
             format!(
                 "{:.1}% / {:.2}x",
-                score(&mpi_only, &test, coll) * 100.0,
+                score(&mpi_only, &test, coll)? * 100.0,
                 slowdown(&mpi_only, &test)
             ),
         ]);
@@ -90,4 +94,6 @@ fn main() {
     println!("application pays. Hardware features must not cost runtime on unseen");
     println!("clusters, and should buy some — that is the paper's claim in the");
     println!("currency it is evaluated in.");
+
+    Ok(())
 }

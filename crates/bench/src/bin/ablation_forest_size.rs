@@ -10,12 +10,12 @@ use pml_mlcore::metrics::accuracy;
 use pml_mlcore::ForestParams;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coll = Collective::Alltoall;
-    let records = full_dataset(coll);
-    let ((train, test), held) = cluster_split_auto(&records, 0.7, 7);
+    let records = full_dataset(coll)?;
+    let ((train, test), held) = cluster_split_auto(&records, 0.7, 7)?;
     eprintln!("held-out clusters: {held:?}");
-    let test_data = records_to_dataset(&test, coll);
+    let test_data = records_to_dataset(&test, coll)?;
     let frontera = pml_clusters::by_name("Frontera").unwrap();
 
     let mut rows = Vec::new();
@@ -36,7 +36,7 @@ fn main() {
             top_k_features: Some(5),
         };
         let t0 = Instant::now();
-        let model = PretrainedModel::train(&train, coll, &cfg);
+        let model = PretrainedModel::train(&train, coll, &cfg)?;
         let train_s = t0.elapsed().as_secs_f64();
         let acc = accuracy(&test_data.y, &model.predict_dataset(&test_data));
         // Amortized single-inference latency (the constant-time claim).
@@ -67,4 +67,6 @@ fn main() {
         ],
         &rows,
     );
+
+    Ok(())
 }

@@ -15,7 +15,7 @@ use pml_core::{
 };
 use pml_mlcore::metrics::accuracy;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_names = [
         "RI2",
         "RI",
@@ -33,16 +33,16 @@ fn main() {
             let mut e = by_name(name).unwrap().clone();
             e.node_grid.truncate(4);
             e.ppn_grid.truncate(6);
-            records.extend(generate_cluster(&e, coll, &DatagenConfig::default()));
+            records.extend(generate_cluster(&e, coll, &DatagenConfig::default())?);
         }
         let (train, test) = cluster_split(&records, &test_names);
-        let model = PretrainedModel::train(&train, coll, &standard_train());
-        let test_data = records_to_dataset(&test, coll);
+        let model = PretrainedModel::train(&train, coll, &standard_train())?;
+        let test_data = records_to_dataset(&test, coll)?;
         let acc = accuracy(&test_data.y, &model.predict_dataset(&test_data));
 
         // Runtime effect on Frontera at 8x56 against the static default.
         let frontera = cluster("Frontera");
-        let ml = MlSelector::new(frontera.spec.node.clone(), None, None).with_model(model);
+        let ml = MlSelector::new(frontera.spec.node.clone(), None, None)?.with_model(model);
         let default = MvapichDefault;
         let sels: [&dyn AlgorithmSelector; 2] = [&ml, &default];
         let cmp = pml_bench::compare_selectors(frontera, coll, 8, 56, &msg_sweep(20), &sels);
@@ -63,4 +63,6 @@ fn main() {
         ],
         &rows,
     );
+
+    Ok(())
 }

@@ -12,7 +12,7 @@ use pml_bench::{cluster, print_table};
 use pml_collectives::Collective;
 use pml_core::overhead;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontera = cluster("Frontera");
     let ppn = 56;
     let measured_nodes = [1u32, 2, 4, 8, 16];
@@ -66,4 +66,6 @@ fn main() {
     );
     println!("\nmicrobench power-law exponent b = {b:.2} (core-hours ~ nodes^b)");
     println!("('~' = extrapolated beyond the simulatable range)");
+
+    Ok(())
 }

@@ -7,7 +7,7 @@ use pml_bench::{cluster, msg_sweep, print_table, us};
 use pml_collectives::{measure_sweep, AlltoallAlgo, Collective};
 use pml_simnet::JobLayout;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = msg_sweep(14); // 1 B .. 16 KiB, as in the figure
     for name in ["Frontera", "MRI"] {
         let entry = cluster(name);
@@ -52,4 +52,6 @@ fn main() {
             .collect();
         println!("winners: {}", winners.join(" "));
     }
+
+    Ok(())
 }

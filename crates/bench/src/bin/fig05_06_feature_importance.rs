@@ -5,10 +5,10 @@ use pml_bench::{full_dataset, print_table, standard_train};
 use pml_collectives::Collective;
 use pml_core::{PretrainedModel, FEATURE_NAMES};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (fig, coll) in [(5, Collective::Allgather), (6, Collective::Alltoall)] {
-        let records = full_dataset(coll);
-        let model = PretrainedModel::train(&records, coll, &standard_train());
+        let records = full_dataset(coll)?;
+        let model = PretrainedModel::train(&records, coll, &standard_train())?;
         let mut scored: Vec<(usize, f64)> = model
             .full_importances()
             .iter()
@@ -40,4 +40,6 @@ fn main() {
             &rows,
         );
     }
+
+    Ok(())
 }

@@ -6,14 +6,14 @@ use pml_bench::{cached_model_excluding, cluster, full_dataset, print_table};
 use pml_collectives::Collective;
 use pml_core::overhead;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontera = cluster("Frontera");
     let ppn = 56;
     // The shipped model must not have seen Frontera (it is the "new"
     // cluster whose tables are being generated).
-    let records = full_dataset(Collective::Allgather);
-    let model = cached_model_excluding(Collective::Allgather, &["Frontera"], &records);
-    let inference_s = overhead::measure_inference_seconds(&model, frontera);
+    let records = full_dataset(Collective::Allgather)?;
+    let model = cached_model_excluding(Collective::Allgather, &["Frontera"], &records)?;
+    let inference_s = overhead::measure_inference_seconds(&model, frontera)?;
     println!(
         "tuning-table inference time on Frontera grid: {:.4} s (one process)",
         inference_s
@@ -61,4 +61,6 @@ fn main() {
         overhead::acclaim_core_hours(128, ppn) / prop
     );
     println!("(paper: ~1e6x vs microbench@32, ~1e4x vs ACCLAiM@128)");
+
+    Ok(())
 }

@@ -6,23 +6,23 @@ use pml_bench::*;
 use pml_collectives::Collective;
 use pml_core::{AlgorithmSelector, MlSelector, MvapichDefault};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mri = cluster("MRI");
-    let ag = full_dataset(Collective::Allgather);
-    let aa = full_dataset(Collective::Alltoall);
+    let ag = full_dataset(Collective::Allgather)?;
+    let aa = full_dataset(Collective::Alltoall)?;
     let ml = MlSelector::new(
         mri.spec.node.clone(),
         Some(cached_model_excluding(
             Collective::Allgather,
             &["Frontera", "MRI"],
             &ag,
-        )),
+        )?),
         Some(cached_model_excluding(
             Collective::Alltoall,
             &["Frontera", "MRI"],
             &aa,
-        )),
-    );
+        )?),
+    )?;
     let default = MvapichDefault;
     let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &default];
     for ppn in [128u32, 64] {
@@ -55,4 +55,6 @@ fn main() {
             );
         }
     }
+
+    Ok(())
 }

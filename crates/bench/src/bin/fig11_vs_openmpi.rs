@@ -5,23 +5,23 @@ use pml_bench::*;
 use pml_collectives::Collective;
 use pml_core::{AlgorithmSelector, MlSelector, OpenMpiDefault};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontera = cluster("Frontera");
-    let ag = full_dataset(Collective::Allgather);
-    let aa = full_dataset(Collective::Alltoall);
+    let ag = full_dataset(Collective::Allgather)?;
+    let aa = full_dataset(Collective::Alltoall)?;
     let ml = MlSelector::new(
         frontera.spec.node.clone(),
         Some(cached_model_excluding(
             Collective::Allgather,
             &["Frontera", "MRI"],
             &ag,
-        )),
+        )?),
         Some(cached_model_excluding(
             Collective::Alltoall,
             &["Frontera", "MRI"],
             &aa,
-        )),
-    );
+        )?),
+    )?;
     let ompi = OpenMpiDefault;
     let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &ompi];
     for coll in [Collective::Allgather, Collective::Alltoall] {
@@ -61,4 +61,6 @@ fn main() {
             large.join(" ")
         );
     }
+
+    Ok(())
 }

@@ -8,22 +8,25 @@ use pml_bench::*;
 use pml_collectives::Collective;
 use pml_core::{AlgorithmSelector, MlSelector, MvapichDefault, PretrainedModel};
 
-fn node_limited_model(coll: Collective, max_nodes: u32) -> PretrainedModel {
-    let records = full_dataset(coll);
+fn node_limited_model(
+    coll: Collective,
+    max_nodes: u32,
+) -> Result<PretrainedModel, pml_core::PmlError> {
+    let records = full_dataset(coll)?;
     let (train, _) = pml_clusters::node_split(&records, max_nodes);
     PretrainedModel::train(&train, coll, &standard_train())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (cluster, max train nodes, test nodes, test ppn)
     let cases = [("MRI", 4u32, 8u32, 128u32), ("Frontera", 8, 16, 56)];
     for (name, max_train, test_nodes, ppn) in cases {
         let entry = cluster(name);
         let ml = MlSelector::new(
             entry.spec.node.clone(),
-            Some(node_limited_model(Collective::Allgather, max_train)),
-            Some(node_limited_model(Collective::Alltoall, max_train)),
-        );
+            Some(node_limited_model(Collective::Allgather, max_train)?),
+            Some(node_limited_model(Collective::Alltoall, max_train)?),
+        )?;
         let default = MvapichDefault;
         let selectors: [&dyn AlgorithmSelector; 2] = [&ml, &default];
         for coll in [Collective::Allgather, Collective::Alltoall] {
@@ -57,4 +60,6 @@ fn main() {
             );
         }
     }
+
+    Ok(())
 }

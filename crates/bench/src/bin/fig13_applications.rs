@@ -8,23 +8,23 @@ use pml_collectives::Collective;
 use pml_core::{AlgorithmSelector, MlSelector, MvapichDefault, RandomSelector};
 use pml_simnet::JobLayout;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontera = cluster("Frontera");
-    let ag = full_dataset(Collective::Allgather);
-    let aa = full_dataset(Collective::Alltoall);
+    let ag = full_dataset(Collective::Allgather)?;
+    let aa = full_dataset(Collective::Alltoall)?;
     let ml = MlSelector::new(
         frontera.spec.node.clone(),
         Some(cached_model_excluding(
             Collective::Allgather,
             &["Frontera", "MRI"],
             &ag,
-        )),
+        )?),
         Some(cached_model_excluding(
             Collective::Alltoall,
             &["Frontera", "MRI"],
             &aa,
-        )),
-    );
+        )?),
+    )?;
     let default = MvapichDefault;
     let random = RandomSelector::new(99);
     let selectors: [(&str, &dyn AlgorithmSelector); 3] = [
@@ -64,4 +64,6 @@ fn main() {
         );
         println!("(paper: Gromacs +2.90% vs default, +19.39% vs random; MiniFE +4.43% / +20.66%)");
     }
+
+    Ok(())
 }

@@ -7,9 +7,9 @@ use pml_bench::*;
 use pml_collectives::Collective;
 use pml_core::{AlgorithmSelector, MlSelector, MvapichDefault, OracleSelector, RandomSelector};
 
-fn main() {
-    let ag = full_dataset(Collective::Allgather);
-    let aa = full_dataset(Collective::Alltoall);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ag = full_dataset(Collective::Allgather)?;
+    let aa = full_dataset(Collective::Alltoall)?;
     let mut rows = Vec::new();
     for (name, shapes) in [
         ("Frontera", vec![(16u32, 56u32), (16, 28), (8, 56), (4, 56)]),
@@ -22,13 +22,13 @@ fn main() {
                 Collective::Allgather,
                 &["Frontera", "MRI"],
                 &ag,
-            )),
+            )?),
             Some(cached_model_excluding(
                 Collective::Alltoall,
                 &["Frontera", "MRI"],
                 &aa,
-            )),
-        );
+            )?),
+        )?;
         let default = MvapichDefault;
         let random = RandomSelector::new(7);
         let mut all: Vec<pml_clusters::TuningRecord> = Vec::new();
@@ -67,4 +67,6 @@ fn main() {
     );
     println!("\n(paper: MRI avg +6.3% allgather / +2.5% alltoall over default; 2.96x/2.76x over");
     println!(" random; slowdown vs exhaustive micro-benchmark bounded by ~6%)");
+
+    Ok(())
 }

@@ -6,9 +6,9 @@ use pml_bench::{full_dataset, print_table};
 use pml_clusters::zoo;
 use pml_collectives::Collective;
 
-fn main() {
-    let ag = full_dataset(Collective::Allgather);
-    let aa = full_dataset(Collective::Alltoall);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ag = full_dataset(Collective::Allgather)?;
+    let aa = full_dataset(Collective::Alltoall)?;
     let count = |recs: &[pml_clusters::TuningRecord], name: &str| {
         recs.iter().filter(|r| r.cluster == name).count()
     };
@@ -48,4 +48,6 @@ fn main() {
         ag.len() + aa.len()
     );
     println!("(paper: >9000 records across both collectives; our counts are the full grids)");
+
+    Ok(())
 }

@@ -11,12 +11,12 @@ use pml_core::records_to_dataset;
 use pml_mlcore::model_selection::{grid_search, train_test_split, Scoring};
 use pml_mlcore::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for coll in [Collective::Allgather, Collective::Alltoall] {
-        let records = full_dataset(coll);
-        let data = records_to_dataset(&records, coll);
-        let (train, test) = train_test_split(&data, 0.3, 42);
+        let records = full_dataset(coll)?;
+        let data = records_to_dataset(&records, coll)?;
+        let (train, test) = train_test_split(&data, 0.3, 42)?;
         eprintln!("{coll}: {} train / {} test", train.len(), test.len());
 
         // Random Forest.
@@ -37,9 +37,9 @@ fn main() {
         ];
         let (best_rf, _) = grid_search(&train, &rf_grid, 3, 0, Scoring::MacroAuc, |p| {
             RandomForest::new(*p)
-        });
+        })?;
         let mut rf = RandomForest::new(best_rf);
-        rf.fit(&train.x, &train.y, train.n_classes);
+        rf.fit(&train.x, &train.y, train.n_classes)?;
         let rf_acc = metrics::accuracy(&test.y, &rf.predict(&test.x));
 
         // Gradient Boosting.
@@ -57,17 +57,17 @@ fn main() {
         ];
         let (best_gb, _) = grid_search(&train, &gb_grid, 3, 0, Scoring::MacroAuc, |p| {
             GradientBoosting::new(*p)
-        });
+        })?;
         let mut gb = GradientBoosting::new(best_gb);
-        gb.fit(&train.x, &train.y, train.n_classes);
+        gb.fit(&train.x, &train.y, train.n_classes)?;
         let gb_acc = metrics::accuracy(&test.y, &gb.predict(&test.x));
 
         // KNN.
         let knn_grid = [KnnParams { k: 3 }, KnnParams { k: 7 }, KnnParams { k: 15 }];
         let (best_knn, _) =
-            grid_search(&train, &knn_grid, 3, 0, Scoring::MacroAuc, |p| Knn::new(*p));
+            grid_search(&train, &knn_grid, 3, 0, Scoring::MacroAuc, |p| Knn::new(*p))?;
         let mut knn = Knn::new(best_knn);
-        knn.fit(&train.x, &train.y, train.n_classes);
+        knn.fit(&train.x, &train.y, train.n_classes)?;
         let knn_acc = metrics::accuracy(&test.y, &knn.predict(&test.x));
 
         // Linear SVM.
@@ -85,9 +85,9 @@ fn main() {
         ];
         let (best_svm, _) = grid_search(&train, &svm_grid, 3, 0, Scoring::MacroAuc, |p| {
             LinearSvm::new(*p)
-        });
+        })?;
         let mut svm = LinearSvm::new(best_svm);
-        svm.fit(&train.x, &train.y, train.n_classes);
+        svm.fit(&train.x, &train.y, train.n_classes)?;
         let svm_acc = metrics::accuracy(&test.y, &svm.predict(&test.x));
 
         rows.push(vec![
@@ -105,4 +105,6 @@ fn main() {
     );
     println!("\n(paper: RF 88.8/89.9, GB 80.5/78.4, KNN 64.1/61.9, SVM 67.3/60.4 —");
     println!(" the reproduction target is the ordering RF > GB > KNN/SVM)");
+
+    Ok(())
 }

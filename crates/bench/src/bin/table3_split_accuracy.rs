@@ -12,32 +12,32 @@ fn eval(
     train: &[pml_clusters::TuningRecord],
     test: &[pml_clusters::TuningRecord],
     coll: Collective,
-) -> f64 {
-    let model = PretrainedModel::train(train, coll, &standard_train());
-    let test_data = records_to_dataset(test, coll);
+) -> Result<f64, pml_core::PmlError> {
+    let model = PretrainedModel::train(train, coll, &standard_train())?;
+    let test_data = records_to_dataset(test, coll)?;
     let pred = model.predict_dataset(&test_data);
-    accuracy(&test_data.y, &pred)
+    Ok(accuracy(&test_data.y, &pred))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for coll in [Collective::Allgather, Collective::Alltoall] {
-        let records = full_dataset(coll);
+        let records = full_dataset(coll)?;
 
-        let (tr, te) = random_split(&records, 0.7, 42);
-        let random_acc = eval(&tr, &te, coll);
+        let (tr, te) = random_split(&records, 0.7, 42)?;
+        let random_acc = eval(&tr, &te, coll)?;
 
-        let ((tr, te), held) = cluster_split_auto(&records, 0.7, 7);
+        let ((tr, te), held) = cluster_split_auto(&records, 0.7, 7)?;
         eprintln!(
             "{coll}: held-out clusters: {held:?} ({} test records)",
             te.len()
         );
-        let cluster_acc = eval(&tr, &te, coll);
+        let cluster_acc = eval(&tr, &te, coll)?;
 
         // Train on small node counts, test on the largest (nodes > 8).
         let (tr, te) = node_split(&records, 8);
         eprintln!("{coll}: node split: {} train / {} test", tr.len(), te.len());
-        let node_acc = eval(&tr, &te, coll);
+        let node_acc = eval(&tr, &te, coll)?;
 
         rows.push(vec![
             coll.to_string(),
@@ -53,4 +53,6 @@ fn main() {
     );
     println!("\n(paper: Allgather 88.8/84.4/79.8, Alltoall 89.9/82.7/86.7 —");
     println!(" the target shape: random >= cluster, node; all well above chance)");
+
+    Ok(())
 }

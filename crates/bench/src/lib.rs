@@ -8,7 +8,7 @@
 
 use pml_clusters::{ClusterEntry, DatagenConfig, TuningRecord};
 use pml_collectives::Collective;
-use pml_core::{AlgorithmSelector, JobConfig, PretrainedModel, TrainConfig};
+use pml_core::{AlgorithmSelector, JobConfig, PmlError, PretrainedModel, TrainConfig};
 use pml_mlcore::ForestParams;
 use std::path::{Path, PathBuf};
 
@@ -27,19 +27,29 @@ pub fn standard_datagen() -> DatagenConfig {
 }
 
 /// The full Table I dataset for one collective, from cache when possible.
-pub fn full_dataset(collective: Collective) -> Vec<TuningRecord> {
+/// Cache damage is non-fatal: the dataset regenerates and the reason lands
+/// on stderr.
+pub fn full_dataset(collective: Collective) -> Result<Vec<TuningRecord>, PmlError> {
     let file = match collective {
         Collective::Allgather => "dataset_allgather.json",
         Collective::Alltoall => "dataset_alltoall.json",
-        other => panic!("the Table I dataset covers the paper collectives only, not {other}"),
+        other => {
+            return Err(PmlError::InvalidInput(format!(
+                "the Table I dataset covers the paper collectives only, not {other}"
+            )))
+        }
     };
-    let (records, _) = pml_clusters::load_or_generate(
+    let load = pml_clusters::load_or_generate(
         &data_dir().join(file),
         pml_clusters::zoo(),
         collective,
         &standard_datagen(),
-    );
-    records
+    )
+    .map_err(PmlError::from)?;
+    if let Some(w) = &load.warning {
+        eprintln!("warning: {w}");
+    }
+    Ok(load.records)
 }
 
 /// The paper's standard forest settings (100 trees, √d features).
@@ -60,7 +70,7 @@ pub fn cached_model_excluding(
     collective: Collective,
     exclude: &[&str],
     records: &[TuningRecord],
-) -> PretrainedModel {
+) -> Result<PretrainedModel, PmlError> {
     let tag: String = if exclude.is_empty() {
         "all".into()
     } else {
@@ -89,20 +99,23 @@ pub fn cached_model_excluding(
         match collective {
             Collective::Allgather => "allgather",
             Collective::Alltoall => "alltoall",
-            other => panic!("no cached models for extension collective {other}"),
+            other =>
+                return Err(PmlError::InvalidInput(format!(
+                    "no cached models for extension collective {other}"
+                ))),
         }
     ));
     if let Ok(s) = std::fs::read_to_string(&path) {
         if let Ok(m) = PretrainedModel::from_json(&s) {
             if m.collective == collective && m.n_training_records == train.len() {
-                return m;
+                return Ok(m);
             }
         }
     }
-    let model = PretrainedModel::train(&train, collective, &standard_train());
+    let model = PretrainedModel::train(&train, collective, &standard_train())?;
     std::fs::create_dir_all(data_dir()).ok();
     std::fs::write(&path, model.to_json()).ok();
-    model
+    Ok(model)
 }
 
 /// One point of a selector-vs-selector runtime comparison.

@@ -5,8 +5,13 @@
 //! benchmarked once and reused the dataset; we do the same by caching the
 //! generated records as JSON keyed by the generation config and the zoo
 //! fingerprint, regenerating only when either changes.
+//!
+//! Cache corruption is never fatal: a truncated, unparsable, or
+//! version-mismatched file simply triggers regeneration, and the reason is
+//! reported in [`CacheLoad::warning`] so callers can log it.
 
 use crate::datagen::{generate_full, DatagenConfig};
+use crate::error::ClustersError;
 use crate::record::TuningRecord;
 use crate::zoo::ClusterEntry;
 use pml_collectives::Collective;
@@ -34,28 +39,73 @@ fn fingerprint(clusters: &[ClusterEntry]) -> Vec<(String, usize)> {
         .collect()
 }
 
+/// Outcome of a cache lookup: the records, whether they came from disk, and
+/// an optional human-readable note about a damaged or stale cache file that
+/// was discarded along the way.
+#[derive(Debug)]
+pub struct CacheLoad {
+    pub records: Vec<TuningRecord>,
+    /// True when the records were read from a valid cache file.
+    pub cached: bool,
+    /// Set when an existing cache file could not be used (corrupt,
+    /// truncated, version mismatch) or a fresh cache could not be written.
+    /// Regeneration already happened; this is purely diagnostic.
+    pub warning: Option<String>,
+}
+
 /// Load records from `path` if it matches (version, config, zoo); otherwise
-/// generate, write the cache, and return the fresh records. Returns
-/// (records, was_cached).
+/// generate, (best-effort) write the cache, and return the fresh records.
+///
+/// Only invalid generation parameters error. Every cache-file problem —
+/// unreadable, truncated, failed parse, stale version — degrades to
+/// regeneration with a warning.
 pub fn load_or_generate(
     path: &Path,
     clusters: &[ClusterEntry],
     collective: Collective,
     cfg: &DatagenConfig,
-) -> (Vec<TuningRecord>, bool) {
+) -> Result<CacheLoad, ClustersError> {
     let fp = fingerprint(clusters);
-    if let Ok(bytes) = std::fs::read(path) {
-        if let Ok(file) = serde_json::from_slice::<CacheFile>(&bytes) {
-            if file.version == CACHE_VERSION
-                && file.config == *cfg
-                && file.collective == collective
-                && file.zoo_fingerprint == fp
-            {
-                return (file.records, true);
+    let mut warning = None;
+    match std::fs::read(path) {
+        Ok(bytes) => match serde_json::from_slice::<CacheFile>(&bytes) {
+            Ok(file) => {
+                if file.version != CACHE_VERSION {
+                    warning = Some(format!(
+                        "cache {}: version {} != {CACHE_VERSION}, regenerating",
+                        path.display(),
+                        file.version
+                    ));
+                } else if file.config != *cfg
+                    || file.collective != collective
+                    || file.zoo_fingerprint != fp
+                {
+                    // Ordinary invalidation (different experiment), not damage.
+                } else {
+                    return Ok(CacheLoad {
+                        records: file.records,
+                        cached: true,
+                        warning: None,
+                    });
+                }
             }
+            Err(e) => {
+                warning = Some(format!(
+                    "cache {}: corrupt ({e}), regenerating",
+                    path.display()
+                ));
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            warning = Some(format!(
+                "cache {}: unreadable ({e}), regenerating",
+                path.display()
+            ));
         }
     }
-    let records = generate_full(clusters, collective, cfg);
+
+    let records = generate_full(clusters, collective, cfg)?;
     let file = CacheFile {
         version: CACHE_VERSION,
         config: *cfg,
@@ -66,9 +116,24 @@ pub fn load_or_generate(
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let json = serde_json::to_vec(&file).expect("cache serializes");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
-    (records, false)
+    match serde_json::to_vec(&file) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                warning.get_or_insert(format!("cache {}: could not persist ({e})", path.display()));
+            }
+        }
+        Err(e) => {
+            warning.get_or_insert(format!(
+                "cache {}: could not serialize ({e})",
+                path.display()
+            ));
+        }
+    }
+    Ok(CacheLoad {
+        records,
+        cached: false,
+        warning,
+    })
 }
 
 #[cfg(test)]
@@ -88,11 +153,12 @@ mod tests {
         let path = dir.join("t.json");
         let cfg = DatagenConfig::noiseless();
         let clusters = tiny();
-        let (a, hit_a) = load_or_generate(&path, &clusters, Collective::Allgather, &cfg);
-        assert!(!hit_a);
-        let (b, hit_b) = load_or_generate(&path, &clusters, Collective::Allgather, &cfg);
-        assert!(hit_b);
-        assert_eq!(a, b);
+        let a = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        assert!(!a.cached);
+        let b = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        assert!(b.cached);
+        assert!(b.warning.is_none());
+        assert_eq!(a.records, b.records);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -101,18 +167,21 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pmlcache2-{}", std::process::id()));
         let path = dir.join("t.json");
         let clusters = tiny();
-        let (_, _) = load_or_generate(
+        load_or_generate(
             &path,
             &clusters,
             Collective::Allgather,
             &DatagenConfig::noiseless(),
-        );
+        )
+        .unwrap();
         let other = DatagenConfig {
             seed: 99,
             ..DatagenConfig::noiseless()
         };
-        let (_, hit) = load_or_generate(&path, &clusters, Collective::Allgather, &other);
-        assert!(!hit);
+        let out = load_or_generate(&path, &clusters, Collective::Allgather, &other).unwrap();
+        assert!(!out.cached);
+        // A config change is routine invalidation, not damage.
+        assert!(out.warning.is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -122,9 +191,60 @@ mod tests {
         let path = dir.join("t.json");
         let clusters = tiny();
         let cfg = DatagenConfig::noiseless();
-        load_or_generate(&path, &clusters, Collective::Allgather, &cfg);
-        let (_, hit) = load_or_generate(&path, &clusters, Collective::Alltoall, &cfg);
-        assert!(!hit);
+        load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        let out = load_or_generate(&path, &clusters, Collective::Alltoall, &cfg).unwrap();
+        assert!(!out.cached);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_cache_regenerates_with_warning() {
+        let dir = std::env::temp_dir().join(format!("pmlcache4-{}", std::process::id()));
+        let path = dir.join("t.json");
+        let clusters = tiny();
+        let cfg = DatagenConfig::noiseless();
+        let fresh = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        // Simulate a crash mid-write: chop the file in half.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let out = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        assert!(!out.cached);
+        assert!(out.warning.as_deref().unwrap().contains("corrupt"));
+        assert_eq!(out.records, fresh.records);
+        // The rewritten cache hits again.
+        let again = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        assert!(again.cached);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_regenerates_with_warning() {
+        let dir = std::env::temp_dir().join(format!("pmlcache5-{}", std::process::id()));
+        let path = dir.join("t.json");
+        let clusters = tiny();
+        let cfg = DatagenConfig::noiseless();
+        load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        let text = String::from_utf8(std::fs::read(&path).unwrap()).unwrap();
+        let stale = text.replacen(&format!("\"version\":{CACHE_VERSION}"), "\"version\":1", 1);
+        assert_ne!(text, stale, "version field not found to rewrite");
+        std::fs::write(&path, stale).unwrap();
+        let out = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        assert!(!out.cached);
+        assert!(out.warning.as_deref().unwrap().contains("version"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_bytes_regenerate_with_warning() {
+        let dir = std::env::temp_dir().join(format!("pmlcache6-{}", std::process::id()));
+        let path = dir.join("t.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, b"not json at all \x00\xff").unwrap();
+        let clusters = tiny();
+        let cfg = DatagenConfig::noiseless();
+        let out = load_or_generate(&path, &clusters, Collective::Allgather, &cfg).unwrap();
+        assert!(!out.cached);
+        assert!(out.warning.is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

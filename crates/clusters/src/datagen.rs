@@ -7,6 +7,7 @@
 //! exactly the paper's protocol for absorbing dynamic network conditions.
 //! Cells are independent, so generation fans out over rayon.
 
+use crate::error::ClustersError;
 use crate::record::TuningRecord;
 use crate::zoo::ClusterEntry;
 use pml_collectives::{
@@ -49,6 +50,18 @@ impl DatagenConfig {
             seed: 0,
         }
     }
+
+    /// Reject configs that cannot produce measurements (e.g. zero
+    /// iterations, whose average would divide by zero).
+    pub fn validate(&self) -> Result<(), ClustersError> {
+        if self.iters == 0 {
+            return Err(ClustersError::InvalidParam {
+                param: "iters",
+                why: "need at least one benchmark iteration".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// FNV-1a, used to give every grid cell an independent deterministic seed.
@@ -77,7 +90,8 @@ pub fn measure_cell(
     ppn: u32,
     msg_size: usize,
     cfg: &DatagenConfig,
-) -> TuningRecord {
+) -> Result<TuningRecord, ClustersError> {
+    cfg.validate()?;
     let layout = JobLayout::new(nodes, ppn);
     let mcfg = MeasureConfig { layout, msg_size };
     let world = layout.world_size();
@@ -101,7 +115,7 @@ pub fn measure_cell(
         })
         .collect();
     runtimes.sort_by(|a, b| a.1.total_cmp(&b.1));
-    TuningRecord {
+    Ok(TuningRecord {
         cluster: entry.name().to_string(),
         collective,
         nodes,
@@ -109,7 +123,7 @@ pub fn measure_cell(
         msg_size,
         best: runtimes[0].0,
         runtimes,
-    }
+    })
 }
 
 /// All grid cells of one cluster for one collective, in deterministic grid
@@ -124,13 +138,14 @@ pub fn generate_cluster(
     entry: &ClusterEntry,
     collective: Collective,
     cfg: &DatagenConfig,
-) -> Vec<TuningRecord> {
+) -> Result<Vec<TuningRecord>, ClustersError> {
+    cfg.validate()?;
     let shapes: Vec<(u32, u32)> = entry
         .node_grid
         .iter()
         .flat_map(|&n| entry.ppn_grid.iter().map(move |&p| (n, p)))
         .collect();
-    shapes
+    let records = shapes
         .into_par_iter()
         .flat_map_iter(|(n, p)| {
             let bases = measure_sweep(
@@ -144,7 +159,8 @@ pub fn generate_cluster(
                 .zip(entry.msg_grid.clone())
                 .map(move |(base, m)| finish_cell(entry, collective, n, p, m, base, cfg))
         })
-        .collect()
+        .collect();
+    Ok(records)
 }
 
 /// Apply the per-cell noise protocol to noise-free base runtimes and build
@@ -199,11 +215,12 @@ pub fn generate_full(
     clusters: &[ClusterEntry],
     collective: Collective,
     cfg: &DatagenConfig,
-) -> Vec<TuningRecord> {
-    clusters
-        .iter()
-        .flat_map(|c| generate_cluster(c, collective, cfg))
-        .collect()
+) -> Result<Vec<TuningRecord>, ClustersError> {
+    let mut out = Vec::new();
+    for c in clusters {
+        out.extend(generate_cluster(c, collective, cfg)?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -229,7 +246,8 @@ mod tests {
             4,
             64,
             &DatagenConfig::noiseless(),
-        );
+        )
+        .unwrap();
         assert_eq!(r.runtimes.len(), 5); // 8 ranks: power of two, all apply
         assert_eq!(r.best, r.runtimes[0].0);
         for w in r.runtimes.windows(2) {
@@ -241,15 +259,16 @@ mod tests {
     fn generation_is_deterministic() {
         let e = small_entry();
         let cfg = DatagenConfig::default();
-        let a = generate_cluster(&e, Collective::Allgather, &cfg);
-        let b = generate_cluster(&e, Collective::Allgather, &cfg);
+        let a = generate_cluster(&e, Collective::Allgather, &cfg).unwrap();
+        let b = generate_cluster(&e, Collective::Allgather, &cfg).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn grid_order_and_count() {
         let e = small_entry();
-        let recs = generate_cluster(&e, Collective::Allgather, &DatagenConfig::noiseless());
+        let recs =
+            generate_cluster(&e, Collective::Allgather, &DatagenConfig::noiseless()).unwrap();
         assert_eq!(recs.len(), e.grid_size());
         assert_eq!((recs[0].nodes, recs[0].ppn, recs[0].msg_size), (1, 2, 64));
         assert_eq!((recs[3].nodes, recs[3].ppn, recs[3].msg_size), (1, 4, 4096));
@@ -260,9 +279,9 @@ mod tests {
         let e = small_entry();
         let cfg = DatagenConfig::default();
         for coll in [Collective::Allgather, Collective::Alltoall] {
-            let recs = generate_cluster(&e, coll, &cfg);
+            let recs = generate_cluster(&e, coll, &cfg).unwrap();
             for r in &recs {
-                let direct = measure_cell(&e, coll, r.nodes, r.ppn, r.msg_size, &cfg);
+                let direct = measure_cell(&e, coll, r.nodes, r.ppn, r.msg_size, &cfg).unwrap();
                 assert_eq!(
                     r.best,
                     direct.best,
@@ -278,6 +297,17 @@ mod tests {
     }
 
     #[test]
+    fn zero_iterations_rejected() {
+        let e = small_entry();
+        let cfg = DatagenConfig {
+            iters: 0,
+            ..DatagenConfig::default()
+        };
+        assert!(measure_cell(&e, Collective::Alltoall, 2, 4, 64, &cfg).is_err());
+        assert!(generate_cluster(&e, Collective::Allgather, &cfg).is_err());
+    }
+
+    #[test]
     fn noise_changes_measurements_but_not_determinism() {
         let e = small_entry();
         let noisy = DatagenConfig {
@@ -286,13 +316,13 @@ mod tests {
             seed: 1,
         };
         let clean = DatagenConfig::noiseless();
-        let rn = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &noisy);
-        let rc = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &clean);
+        let rn = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &noisy).unwrap();
+        let rc = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &clean).unwrap();
         let tn = rn.runtime_of(rc.best).unwrap();
         let tc = rc.best_runtime();
         assert_ne!(tn, tc);
         // Same seed, same result.
-        let rn2 = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &noisy);
+        let rn2 = measure_cell(&e, Collective::Alltoall, 2, 4, 4096, &noisy).unwrap();
         assert_eq!(rn, rn2);
     }
 }

@@ -1,0 +1,41 @@
+//! Error type for dataset generation, caching, and splitting.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong between a cluster zoo and a training set.
+#[derive(Debug)]
+pub enum ClustersError {
+    /// A caller-supplied knob is out of range.
+    InvalidParam { param: &'static str, why: String },
+    /// A cluster name that is not in the zoo.
+    UnknownCluster(String),
+    /// Filesystem failure while persisting or reading a dataset cache.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for ClustersError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClustersError::InvalidParam { param, why } => {
+                write!(f, "invalid parameter `{param}`: {why}")
+            }
+            ClustersError::UnknownCluster(name) => write!(f, "unknown cluster `{name}`"),
+            ClustersError::Io { path, source } => {
+                write!(f, "io error at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClustersError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClustersError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

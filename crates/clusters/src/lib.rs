@@ -7,12 +7,14 @@
 
 pub mod cache;
 pub mod datagen;
+pub mod error;
 pub mod record;
 pub mod split;
 pub mod zoo;
 
-pub use cache::{load_or_generate, CACHE_VERSION};
+pub use cache::{load_or_generate, CacheLoad, CACHE_VERSION};
 pub use datagen::{generate_cluster, generate_full, measure_cell, DatagenConfig};
+pub use error::ClustersError;
 pub use record::TuningRecord;
 pub use split::{cluster_split, cluster_split_auto, node_split, random_split, Split};
 pub use zoo::{by_name, zoo, ClusterEntry};

@@ -6,6 +6,7 @@
 //! * **node** — train on small node counts, test on larger ones, testing
 //!   scalability of the learned tuning strategy.
 
+use crate::error::ClustersError;
 use crate::record::TuningRecord;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -15,17 +16,31 @@ use std::collections::BTreeSet;
 /// A (train, test) partition of records, by value.
 pub type Split = (Vec<TuningRecord>, Vec<TuningRecord>);
 
+fn check_fraction(train_fraction: f64) -> Result<(), ClustersError> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(ClustersError::InvalidParam {
+            param: "train_fraction",
+            why: format!("{train_fraction} not in [0, 1]"),
+        });
+    }
+    Ok(())
+}
+
 /// Shuffled random split; `train_fraction` of records train.
-pub fn random_split(records: &[TuningRecord], train_fraction: f64, seed: u64) -> Split {
-    assert!((0.0..=1.0).contains(&train_fraction));
+pub fn random_split(
+    records: &[TuningRecord],
+    train_fraction: f64,
+    seed: u64,
+) -> Result<Split, ClustersError> {
+    check_fraction(train_fraction)?;
     let mut idx: Vec<usize> = (0..records.len()).collect();
     idx.shuffle(&mut StdRng::seed_from_u64(seed));
     let n_train = ((records.len() as f64) * train_fraction).round() as usize;
     let (tr, te) = idx.split_at(n_train.min(records.len()));
-    (
+    Ok((
         tr.iter().map(|&i| records[i].clone()).collect(),
         te.iter().map(|&i| records[i].clone()).collect(),
-    )
+    ))
 }
 
 /// Hold out the named clusters as the test set.
@@ -45,7 +60,8 @@ pub fn cluster_split_auto(
     records: &[TuningRecord],
     train_fraction: f64,
     seed: u64,
-) -> (Split, Vec<String>) {
+) -> Result<(Split, Vec<String>), ClustersError> {
+    check_fraction(train_fraction)?;
     let mut names: Vec<String> = {
         let set: BTreeSet<&str> = records.iter().map(|r| r.cluster.as_str()).collect();
         set.into_iter().map(String::from).collect()
@@ -62,7 +78,7 @@ pub fn cluster_split_auto(
         held.push(name);
     }
     let refs: Vec<&str> = held.iter().map(String::as_str).collect();
-    (cluster_split(records, &refs), held)
+    Ok((cluster_split(records, &refs), held))
 }
 
 /// Train on records with `nodes <= max_train_nodes`, test on the rest.
@@ -106,7 +122,7 @@ mod tests {
     #[test]
     fn random_split_sizes() {
         let recs = sample();
-        let (tr, te) = random_split(&recs, 0.7, 1);
+        let (tr, te) = random_split(&recs, 0.7, 1).unwrap();
         assert_eq!(tr.len(), 56);
         assert_eq!(te.len(), 24);
     }
@@ -123,10 +139,17 @@ mod tests {
     #[test]
     fn cluster_split_auto_hits_fraction() {
         let recs = sample();
-        let ((tr, te), held) = cluster_split_auto(&recs, 0.75, 3);
+        let ((tr, te), held) = cluster_split_auto(&recs, 0.75, 3).unwrap();
         assert_eq!(held.len(), 1); // 25% of 4 uniform clusters
         assert_eq!(te.len(), 20);
         assert_eq!(tr.len(), 60);
+    }
+
+    #[test]
+    fn bad_fraction_is_rejected() {
+        let recs = sample();
+        assert!(random_split(&recs, 1.5, 0).is_err());
+        assert!(cluster_split_auto(&recs, -0.1, 0).is_err());
     }
 
     #[test]

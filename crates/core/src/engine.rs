@@ -1,0 +1,279 @@
+//! [`SelectionEngine`] — one owner for the whole zoo → datagen → train →
+//! tuning-table → [`Tuner`] lifecycle.
+//!
+//! The rest of the crate exposes each stage as a free-standing piece
+//! (dataset generation in `pml-clusters`, training in [`crate::pipeline`],
+//! tables in [`crate::tuning_table`], runtime lookups in [`crate::tuner`]).
+//! The engine wires them together behind one facade with consistent
+//! caching: datasets are cached on disk (when a cache directory is
+//! configured), models are trained once per collective, and tuning tables
+//! are memoized per (cluster, collective) in a [`TableStore`]. This is the
+//! programmatic equivalent of the CLI's `train` → `table` → `predict`
+//! workflow, and what `examples/quickstart.rs` drives.
+
+use crate::error::PmlError;
+use crate::pipeline::{PretrainedModel, TrainConfig};
+use crate::selectors::JobConfig;
+use crate::tuner::Tuner;
+use crate::tuning_table::{TableStore, TuningTable};
+use pml_clusters::{generate_full, load_or_generate, ClusterEntry, DatagenConfig, TuningRecord};
+use pml_collectives::{Algorithm, Collective};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Engine settings: how to benchmark, how to train, where to cache.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    pub datagen: DatagenConfig,
+    pub train: TrainConfig,
+    /// Directory for on-disk dataset caches (`dataset_<collective>.json`).
+    /// `None` regenerates in memory every time.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Cache file name for one collective's dataset, matching the repo's
+/// committed `data/dataset_*.json` convention.
+fn dataset_file(collective: Collective) -> String {
+    format!(
+        "dataset_{}.json",
+        collective.name().trim_start_matches("MPI_").to_lowercase()
+    )
+}
+
+/// Owns the full offline-training + online-inference lifecycle.
+pub struct SelectionEngine {
+    clusters: Vec<ClusterEntry>,
+    cfg: EngineConfig,
+    models: BTreeMap<Collective, PretrainedModel>,
+    store: TableStore,
+    warnings: Vec<String>,
+}
+
+impl SelectionEngine {
+    /// Engine over the full 18-cluster zoo.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_clusters(pml_clusters::zoo().to_vec(), cfg)
+    }
+
+    /// Engine over an explicit cluster set (trimmed grids for tests and the
+    /// quickstart example).
+    pub fn with_clusters(clusters: Vec<ClusterEntry>, cfg: EngineConfig) -> Self {
+        SelectionEngine {
+            clusters,
+            cfg,
+            models: BTreeMap::new(),
+            store: TableStore::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    pub fn clusters(&self) -> &[ClusterEntry] {
+        &self.clusters
+    }
+
+    /// Look a cluster up by name in this engine's zoo.
+    pub fn entry(&self, name: &str) -> Result<&ClusterEntry, PmlError> {
+        self.clusters
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| PmlError::UnknownCluster(name.to_string()))
+    }
+
+    /// Non-fatal diagnostics accumulated so far (e.g. a corrupt dataset
+    /// cache that was regenerated).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The micro-benchmark dataset for one collective — from the on-disk
+    /// cache when configured and valid, regenerated otherwise.
+    pub fn dataset(&mut self, collective: Collective) -> Result<Vec<TuningRecord>, PmlError> {
+        match &self.cfg.cache_dir {
+            Some(dir) => {
+                let path = dir.join(dataset_file(collective));
+                let load = load_or_generate(&path, &self.clusters, collective, &self.cfg.datagen)?;
+                if let Some(w) = load.warning {
+                    self.warnings.push(w);
+                }
+                Ok(load.records)
+            }
+            None => Ok(generate_full(
+                &self.clusters,
+                collective,
+                &self.cfg.datagen,
+            )?),
+        }
+    }
+
+    /// Train (or fetch the already-trained) model for one collective.
+    pub fn train(&mut self, collective: Collective) -> Result<&PretrainedModel, PmlError> {
+        if !self.models.contains_key(&collective) {
+            let records = self.dataset(collective)?;
+            let model = PretrainedModel::train(&records, collective, &self.cfg.train)?;
+            self.models.insert(collective, model);
+        }
+        Ok(&self.models[&collective])
+    }
+
+    /// A model trained earlier in this engine's lifetime, if any.
+    pub fn model(&self, collective: Collective) -> Option<&PretrainedModel> {
+        self.models.get(&collective)
+    }
+
+    /// Adopt an externally trained/deserialized artifact (the shipped-model
+    /// deployment path: no benchmarking, no training).
+    pub fn install_model(&mut self, model: PretrainedModel) {
+        self.models.insert(model.collective, model);
+    }
+
+    /// The tuning table for one (cluster, collective), generating — and
+    /// training first, if needed — on a miss. Tables are memoized, so the
+    /// steady-state cost is a map probe.
+    pub fn tuning_table(
+        &mut self,
+        cluster: &str,
+        collective: Collective,
+    ) -> Result<&TuningTable, PmlError> {
+        if self.store.get(cluster, collective).is_none() {
+            let entry = self.entry(cluster)?.clone();
+            self.train(collective)?;
+            let table = self.models[&collective].generate_tuning_table(&entry)?;
+            self.store.put(table);
+        }
+        self.store
+            .get(cluster, collective)
+            .ok_or_else(|| PmlError::UnknownCluster(cluster.to_string()))
+    }
+
+    /// Predict the algorithm for one job on one cluster (trains on first
+    /// use; grid-independent — goes through the model, not the table).
+    pub fn predict(
+        &mut self,
+        cluster: &str,
+        collective: Collective,
+        job: JobConfig,
+    ) -> Result<Algorithm, PmlError> {
+        let node = self.entry(cluster)?.spec.node.clone();
+        let model = self.train(collective)?;
+        Ok(model.predict(&node, job))
+    }
+
+    /// Build the runtime-side [`Tuner`] for a cluster from this engine's
+    /// tables — the hand-off point to an MPI library.
+    pub fn tuner_for(
+        &mut self,
+        cluster: &str,
+        collectives: &[Collective],
+    ) -> Result<Tuner, PmlError> {
+        let mut tables = Vec::with_capacity(collectives.len());
+        for &c in collectives {
+            tables.push(self.tuning_table(cluster, c)?.clone());
+        }
+        Ok(Tuner::new(tables))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_mlcore::ForestParams;
+
+    /// Two clusters with trimmed grids so tests stay fast.
+    fn tiny_engine(cache_dir: Option<PathBuf>) -> SelectionEngine {
+        let clusters: Vec<ClusterEntry> = ["RI", "Haswell"]
+            .iter()
+            .map(|name| {
+                let mut e = pml_clusters::by_name(name).unwrap().clone();
+                e.node_grid = vec![1, 2];
+                e.ppn_grid = vec![2, 4];
+                e.msg_grid = vec![16, 1024, 65536];
+                e
+            })
+            .collect();
+        let cfg = EngineConfig {
+            datagen: DatagenConfig::noiseless(),
+            train: TrainConfig {
+                forest: ForestParams {
+                    n_estimators: 10,
+                    seed: 1,
+                    ..Default::default()
+                },
+                top_k_features: Some(5),
+            },
+            cache_dir,
+        };
+        SelectionEngine::with_clusters(clusters, cfg)
+    }
+
+    #[test]
+    fn full_lifecycle_trains_tables_and_tuner() {
+        let mut eng = tiny_engine(None);
+        assert!(eng.model(Collective::Alltoall).is_none());
+        let table = eng.tuning_table("RI", Collective::Alltoall).unwrap();
+        assert_eq!(table.len(), 2 * 2 * 3);
+        assert!(eng.model(Collective::Alltoall).is_some());
+        let tuner = eng.tuner_for("RI", &[Collective::Alltoall]).unwrap();
+        assert_eq!(tuner.covered(), vec![Collective::Alltoall]);
+        let job = JobConfig::new(2, 4, 1024);
+        let a = tuner.select(Collective::Alltoall, job);
+        assert!(a.supports(job.world_size()));
+    }
+
+    #[test]
+    fn tables_are_memoized() {
+        let mut eng = tiny_engine(None);
+        let a = eng
+            .tuning_table("RI", Collective::Allgather)
+            .unwrap()
+            .clone();
+        let b = eng
+            .tuning_table("RI", Collective::Allgather)
+            .unwrap()
+            .clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_cluster_is_an_error() {
+        let mut eng = tiny_engine(None);
+        assert!(eng.tuning_table("Atlantis", Collective::Allgather).is_err());
+        assert!(eng
+            .predict("Atlantis", Collective::Allgather, JobConfig::new(1, 2, 64))
+            .is_err());
+    }
+
+    #[test]
+    fn corrupt_dataset_cache_surfaces_as_warning_not_error() {
+        let dir = std::env::temp_dir().join(format!("pmlengine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("dataset_allgather.json"), "{broken").unwrap();
+        let mut eng = tiny_engine(Some(dir.clone()));
+        let records = eng.dataset(Collective::Allgather).unwrap();
+        assert!(!records.is_empty());
+        assert_eq!(eng.warnings().len(), 1);
+        assert!(eng.warnings()[0].contains("corrupt"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn installed_model_skips_training() {
+        let mut eng = tiny_engine(None);
+        let records = eng.dataset(Collective::Alltoall).unwrap();
+        let model = PretrainedModel::train(&records, Collective::Alltoall, &eng.cfg.train).unwrap();
+        let mut deploy = tiny_engine(None);
+        deploy.install_model(model.clone());
+        // `train` must return the installed artifact untouched.
+        let got = deploy.train(Collective::Alltoall).unwrap();
+        assert_eq!(*got, model);
+    }
+
+    #[test]
+    fn predict_is_applicable() {
+        let mut eng = tiny_engine(None);
+        let a = eng
+            .predict("RI", Collective::Alltoall, JobConfig::new(3, 5, 777))
+            .unwrap();
+        assert!(a.supports(15));
+        assert_eq!(a.collective(), Collective::Alltoall);
+    }
+}

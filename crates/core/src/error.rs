@@ -1,0 +1,102 @@
+//! `PmlError` — the workspace-facing error type.
+//!
+//! Every fallible user-input path in the framework (training, dataset
+//! generation, tuning-table I/O, hardware detection, the CLI) funnels into
+//! this enum; lower layers' errors ([`pml_mlcore::MlError`],
+//! [`pml_clusters::ClustersError`], [`crate::hwdetect::HwDetectError`])
+//! convert via `From` so call sites can use `?` throughout.
+
+use crate::hwdetect::HwDetectError;
+use pml_clusters::ClustersError;
+use pml_collectives::Collective;
+use pml_mlcore::MlError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Top-level error for the PML-MPI framework.
+#[derive(Debug)]
+pub enum PmlError {
+    /// An ML-layer failure (bad hyperparameters, shape mismatch, …).
+    Ml(MlError),
+    /// A dataset-layer failure (bad generation config, …).
+    Clusters(ClustersError),
+    /// Hardware capture parsing failed.
+    HwDetect(HwDetectError),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// Filesystem failure.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// A cluster name not present in the zoo.
+    UnknownCluster(String),
+    /// Training was requested but no records exist for the collective.
+    NoTrainingRecords(Collective),
+    /// An algorithm of one collective was used with a table/model of another.
+    CrossCollective {
+        expected: Collective,
+        got: Collective,
+    },
+    /// A caller-supplied value is out of range or malformed.
+    InvalidInput(String),
+}
+
+impl fmt::Display for PmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmlError::Ml(e) => write!(f, "ml: {e}"),
+            PmlError::Clusters(e) => write!(f, "dataset: {e}"),
+            PmlError::HwDetect(e) => write!(f, "hardware detection: {e}"),
+            PmlError::Json(e) => write!(f, "json: {e}"),
+            PmlError::Io { path, source } => {
+                write!(f, "io error at {}: {source}", path.display())
+            }
+            PmlError::UnknownCluster(name) => write!(f, "unknown cluster `{name}`"),
+            PmlError::NoTrainingRecords(c) => {
+                write!(f, "no training records for collective {c}")
+            }
+            PmlError::CrossCollective { expected, got } => {
+                write!(f, "collective mismatch: expected {expected}, got {got}")
+            }
+            PmlError::InvalidInput(why) => write!(f, "invalid input: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmlError::Ml(e) => Some(e),
+            PmlError::Clusters(e) => Some(e),
+            PmlError::HwDetect(e) => Some(e),
+            PmlError::Json(e) => Some(e),
+            PmlError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for PmlError {
+    fn from(e: MlError) -> Self {
+        PmlError::Ml(e)
+    }
+}
+
+impl From<ClustersError> for PmlError {
+    fn from(e: ClustersError) -> Self {
+        PmlError::Clusters(e)
+    }
+}
+
+impl From<HwDetectError> for PmlError {
+    fn from(e: HwDetectError) -> Self {
+        PmlError::HwDetect(e)
+    }
+}
+
+impl From<serde_json::Error> for PmlError {
+    fn from(e: serde_json::Error) -> Self {
+        PmlError::Json(e)
+    }
+}

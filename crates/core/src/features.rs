@@ -8,6 +8,8 @@
 //! threads-per-core is excluded (it is CPU-determined and would introduce a
 //! feature dependency).
 
+use crate::error::PmlError;
+use crate::selectors::JobConfig;
 use pml_clusters::TuningRecord;
 use pml_collectives::Collective;
 use pml_mlcore::{Dataset, Matrix};
@@ -57,12 +59,28 @@ pub fn extract(node: &NodeSpec, nodes: u32, ppn: u32, msg_size: usize) -> [f64; 
     ]
 }
 
+/// Extract feature rows for a whole batch of job configurations on one
+/// node type — the bulk companion of [`extract`], feeding
+/// [`pml_mlcore::RandomForest::predict_batch`] during tuning-table
+/// generation.
+pub fn extract_batch(node: &NodeSpec, jobs: &[JobConfig]) -> Matrix {
+    let rows: Vec<[f64; N_FEATURES]> = jobs
+        .iter()
+        .map(|j| extract(node, j.nodes, j.ppn, j.msg_size))
+        .collect();
+    Matrix::from_rows(rows)
+}
+
 /// Convert tuning records into an ML dataset for one collective.
 ///
 /// Labels are algorithm class indices ([`pml_collectives::Algorithm::index`]);
 /// hardware features are looked up in the cluster zoo by the record's
-/// cluster name. Records of other collectives are skipped.
-pub fn records_to_dataset(records: &[TuningRecord], collective: Collective) -> Dataset {
+/// cluster name. Records of other collectives are skipped; a record naming
+/// a cluster outside the zoo is an error.
+pub fn records_to_dataset(
+    records: &[TuningRecord],
+    collective: Collective,
+) -> Result<Dataset, PmlError> {
     let mut rows: Vec<[f64; N_FEATURES]> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
     for r in records {
@@ -70,17 +88,22 @@ pub fn records_to_dataset(records: &[TuningRecord], collective: Collective) -> D
             continue;
         }
         let entry = pml_clusters::by_name(&r.cluster)
-            .unwrap_or_else(|| panic!("record references unknown cluster {:?}", r.cluster));
+            .ok_or_else(|| PmlError::UnknownCluster(r.cluster.clone()))?;
         rows.push(extract(&entry.spec.node, r.nodes, r.ppn, r.msg_size));
         labels.push(r.best.index());
     }
-    let x = Matrix::from_rows(rows);
-    Dataset::new(
+    // An all-filtered record set must still carry the 14-column shape.
+    let x = if rows.is_empty() {
+        Matrix::zeros(0, N_FEATURES)
+    } else {
+        Matrix::from_rows(rows)
+    };
+    Ok(Dataset::new(
         x,
         labels,
         collective.algo_count(),
         FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-    )
+    ))
 }
 
 /// Project a dataset onto a feature subset (the paper trains the final
@@ -140,7 +163,8 @@ mod tests {
             4,
             64,
             &DatagenConfig::noiseless(),
-        );
+        )
+        .unwrap();
         let r2 = measure_cell(
             e,
             Collective::Alltoall,
@@ -148,12 +172,45 @@ mod tests {
             4,
             64,
             &DatagenConfig::noiseless(),
-        );
-        let d = records_to_dataset(&[r1.clone(), r2], Collective::Allgather);
+        )
+        .unwrap();
+        let d = records_to_dataset(&[r1.clone(), r2], Collective::Allgather).unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d.n_classes, 4);
         assert_eq!(d.y[0], r1.best.index());
         assert_eq!(d.n_features(), N_FEATURES);
+    }
+
+    #[test]
+    fn unknown_cluster_is_an_error() {
+        use pml_clusters::{measure_cell, DatagenConfig};
+        let e = by_name("RI").unwrap();
+        let mut r = measure_cell(
+            e,
+            Collective::Allgather,
+            2,
+            4,
+            64,
+            &DatagenConfig::noiseless(),
+        )
+        .unwrap();
+        r.cluster = "NoSuchMachine".into();
+        assert!(records_to_dataset(&[r], Collective::Allgather).is_err());
+    }
+
+    #[test]
+    fn batch_extraction_matches_per_job() {
+        let node = &by_name("Frontera").unwrap().spec.node;
+        let jobs = vec![
+            JobConfig::new(1, 2, 8),
+            JobConfig::new(16, 56, 4096),
+            JobConfig::new(3, 5, 1 << 20),
+        ];
+        let m = extract_batch(node, &jobs);
+        assert_eq!(m.rows(), jobs.len());
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(m.row(i), extract(node, j.nodes, j.ppn, j.msg_size));
+        }
     }
 
     #[test]

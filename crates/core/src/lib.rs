@@ -17,6 +17,8 @@
 //! * [`tuner`] — the runtime-side facade an MPI library links: memoized
 //!   tuning-table lookups with static-rule fallback.
 
+pub mod engine;
+pub mod error;
 pub mod features;
 pub mod hwdetect;
 pub mod overhead;
@@ -25,7 +27,9 @@ pub mod selectors;
 pub mod tuner;
 pub mod tuning_table;
 
-pub use features::{extract, records_to_dataset, FEATURE_NAMES, N_FEATURES};
+pub use engine::{EngineConfig, SelectionEngine};
+pub use error::PmlError;
+pub use features::{extract, extract_batch, records_to_dataset, FEATURE_NAMES, N_FEATURES};
 pub use hwdetect::{detect_node, parse_ibstat, parse_lscpu, parse_lspci_link, HwDetectError};
 pub use pipeline::{MlSelector, PretrainedModel, TrainConfig};
 pub use selectors::{

@@ -11,6 +11,7 @@
 //! `TuningTable` for the target cluster. No data collection,
 //! no retraining — one process, well under a second.
 
+use crate::error::PmlError;
 use crate::features::{self, N_FEATURES};
 use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig};
 use crate::tuning_table::TuningTable;
@@ -57,7 +58,11 @@ pub struct PretrainedModel {
 
 impl PretrainedModel {
     /// Offline training (Fig. 3) from micro-benchmark records.
-    pub fn train(records: &[TuningRecord], collective: Collective, cfg: &TrainConfig) -> Self {
+    pub fn train(
+        records: &[TuningRecord],
+        collective: Collective,
+        cfg: &TrainConfig,
+    ) -> Result<Self, PmlError> {
         let all: Vec<usize> = (0..N_FEATURES).collect();
         Self::train_restricted(records, collective, cfg, &all)
     }
@@ -72,15 +77,24 @@ impl PretrainedModel {
         collective: Collective,
         cfg: &TrainConfig,
         allowed: &[usize],
-    ) -> Self {
-        assert!(!allowed.is_empty() && allowed.iter().all(|&i| i < N_FEATURES));
-        let full = features::records_to_dataset(records, collective);
-        assert!(!full.is_empty(), "no training records for {collective}");
+    ) -> Result<Self, PmlError> {
+        if allowed.is_empty() {
+            return Err(PmlError::InvalidInput("feature whitelist is empty".into()));
+        }
+        if let Some(&bad) = allowed.iter().find(|&&i| i >= N_FEATURES) {
+            return Err(PmlError::InvalidInput(format!(
+                "feature index {bad} out of range (have {N_FEATURES})"
+            )));
+        }
+        let full = features::records_to_dataset(records, collective)?;
+        if full.is_empty() {
+            return Err(PmlError::NoTrainingRecords(collective));
+        }
 
         // Preliminary forest on the allowed features → importance ranking.
         let allowed_data = features::select_features(&full, allowed);
         let mut prelim = RandomForest::new(cfg.forest);
-        prelim.fit(&allowed_data.x, &allowed_data.y, allowed_data.n_classes);
+        prelim.fit(&allowed_data.x, &allowed_data.y, allowed_data.n_classes)?;
         let allowed_importances = prelim.feature_importances();
         let mut full_importances = vec![0.0; N_FEATURES];
         for (&feat, &imp) in allowed.iter().zip(&allowed_importances) {
@@ -100,15 +114,15 @@ impl PretrainedModel {
 
         let reduced = features::select_features(&full, &selected_features);
         let mut forest = RandomForest::new(cfg.forest);
-        forest.fit(&reduced.x, &reduced.y, reduced.n_classes);
+        forest.fit(&reduced.x, &reduced.y, reduced.n_classes)?;
 
-        PretrainedModel {
+        Ok(PretrainedModel {
             collective,
             forest,
             selected_features,
             full_importances,
             n_training_records: full.len(),
-        }
+        })
     }
 
     /// Importance of every one of the 14 features (preliminary forest).
@@ -129,36 +143,64 @@ impl PretrainedModel {
     /// Predict the algorithm for one configuration on one node type.
     /// Guaranteed to return an algorithm applicable at the world size.
     pub fn predict(&self, node: &NodeSpec, job: JobConfig) -> Algorithm {
-        let full = features::extract(node, job.nodes, job.ppn, job.msg_size);
-        let row = features::project(&full, &self.selected_features);
-        let class = self.forest.predict(&pml_mlcore::Matrix::from_rows([row]))[0];
-        let algo = Algorithm::from_index(self.collective, class)
-            .expect("model predicts a valid class index");
-        applicable_or_fallback(algo, job.world_size())
+        self.predict_batch(node, &[job])[0]
+    }
+
+    /// Batched prediction: one feature-extraction pass and one parallel
+    /// forest inference for the whole job list. Output is index-aligned
+    /// with `jobs`, and every algorithm is applicable at its job's world
+    /// size.
+    pub fn predict_batch(&self, node: &NodeSpec, jobs: &[JobConfig]) -> Vec<Algorithm> {
+        let full = features::extract_batch(node, jobs);
+        let reduced_rows: Vec<Vec<f64>> = (0..full.rows())
+            .map(|i| {
+                self.selected_features
+                    .iter()
+                    .map(|&j| full.get(i, j))
+                    .collect()
+            })
+            .collect();
+        let classes = self
+            .forest
+            .predict_batch(&pml_mlcore::Matrix::from_rows(reduced_rows));
+        classes
+            .into_iter()
+            .zip(jobs)
+            .map(|(class, job)| {
+                let algo = Algorithm::from_index(self.collective, class)
+                    .expect("model predicts a valid class index");
+                applicable_or_fallback(algo, job.world_size())
+            })
+            .collect()
     }
 
     /// Hard predictions for a whole dataset-shaped matrix (already feature-
     /// selected rows) — used by the accuracy benchmarks.
     pub fn predict_dataset(&self, data: &pml_mlcore::Dataset) -> Vec<usize> {
         let reduced = features::select_features(data, &self.selected_features);
-        self.forest.predict(&reduced.x)
+        self.forest.predict_batch(&reduced.x)
     }
 
     /// Online inference (Fig. 4): generate the tuning table for a cluster
-    /// over its benchmark grid. One model inference per grid cell, one
-    /// process, no measurements.
-    pub fn generate_tuning_table(&self, entry: &ClusterEntry) -> TuningTable {
+    /// over its benchmark grid. The whole grid runs through
+    /// [`PretrainedModel::predict_batch`] — one process, no measurements.
+    pub fn generate_tuning_table(&self, entry: &ClusterEntry) -> Result<TuningTable, PmlError> {
+        let jobs: Vec<JobConfig> = entry
+            .node_grid
+            .iter()
+            .flat_map(|&n| {
+                entry.ppn_grid.iter().flat_map(move |&p| {
+                    entry.msg_grid.iter().map(move |&m| JobConfig::new(n, p, m))
+                })
+            })
+            .collect();
+        let algos = self.predict_batch(&entry.spec.node, &jobs);
         let mut table = TuningTable::new(entry.name(), self.collective);
-        for &n in &entry.node_grid {
-            for &p in &entry.ppn_grid {
-                for &m in &entry.msg_grid {
-                    let algo = self.predict(&entry.spec.node, JobConfig::new(n, p, m));
-                    table.insert(n, p, m as u64, algo);
-                }
-            }
+        for (job, algo) in jobs.iter().zip(algos) {
+            table.insert(job.nodes, job.ppn, job.msg_size as u64, algo)?;
         }
         table.normalize();
-        table
+        Ok(table)
     }
 
     /// Serialize the shipped artifact.
@@ -185,25 +227,36 @@ pub struct MlSelector {
 
 impl MlSelector {
     /// Build for a target cluster from pre-trained models. Either model may
-    /// be absent if only one collective is under study.
+    /// be absent if only one collective is under study; a model for the
+    /// wrong collective is rejected.
     pub fn new(
         node: NodeSpec,
         allgather: Option<PretrainedModel>,
         alltoall: Option<PretrainedModel>,
-    ) -> Self {
+    ) -> Result<Self, PmlError> {
         if let Some(m) = &allgather {
-            assert_eq!(m.collective, Collective::Allgather);
+            if m.collective != Collective::Allgather {
+                return Err(PmlError::CrossCollective {
+                    expected: Collective::Allgather,
+                    got: m.collective,
+                });
+            }
         }
         if let Some(m) = &alltoall {
-            assert_eq!(m.collective, Collective::Alltoall);
+            if m.collective != Collective::Alltoall {
+                return Err(PmlError::CrossCollective {
+                    expected: Collective::Alltoall,
+                    got: m.collective,
+                });
+            }
         }
-        MlSelector {
+        Ok(MlSelector {
             name: "PML-MPI-proposed".into(),
             node,
             allgather,
             alltoall,
             extra: std::collections::BTreeMap::new(),
-        }
+        })
     }
 
     /// Attach a model for an extension collective (bcast/allreduce).
@@ -244,6 +297,17 @@ impl AlgorithmSelector for MlSelector {
             None => crate::selectors::MvapichDefault.select(collective, job),
         }
     }
+
+    /// One batched forest inference for the whole job list.
+    fn select_batch(&self, collective: Collective, jobs: &[JobConfig]) -> Vec<Algorithm> {
+        match self.model_for(collective) {
+            Some(model) => model.predict_batch(&self.node, jobs),
+            None => jobs
+                .iter()
+                .map(|&j| crate::selectors::MvapichDefault.select(collective, j))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -259,11 +323,7 @@ mod tests {
             e.node_grid = vec![1, 2];
             e.ppn_grid = vec![2, 4];
             e.msg_grid = vec![16, 1024, 65536];
-            out.extend(generate_cluster(
-                &e,
-                collective,
-                &DatagenConfig::noiseless(),
-            ));
+            out.extend(generate_cluster(&e, collective, &DatagenConfig::noiseless()).unwrap());
         }
         out
     }
@@ -279,7 +339,7 @@ mod tests {
             },
             top_k_features: Some(5),
         };
-        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg);
+        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg).unwrap();
         assert_eq!(model.selected_features().len(), 5);
         assert_eq!(model.n_training_records, recs.len());
         let sum: f64 = model.full_importances().iter().sum();
@@ -302,7 +362,7 @@ mod tests {
             },
             top_k_features: None,
         };
-        let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg);
+        let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg).unwrap();
         let e_ri = by_name("RI").unwrap();
         let e_hw = by_name("Haswell").unwrap();
         let mut hits = 0;
@@ -331,12 +391,12 @@ mod tests {
             },
             ..Default::default()
         };
-        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg);
+        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg).unwrap();
         let mut e = by_name("MRI").unwrap().clone();
         e.node_grid = vec![1, 2];
         e.ppn_grid = vec![4];
         e.msg_grid = vec![64, 2048];
-        let table = model.generate_tuning_table(&e);
+        let table = model.generate_tuning_table(&e).unwrap();
         assert_eq!(table.len(), 4);
         let back = TuningTable::from_json(&table.to_json()).unwrap();
         assert_eq!(table, back);
@@ -353,13 +413,61 @@ mod tests {
             },
             ..Default::default()
         };
-        let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg);
+        let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg).unwrap();
         let back = PretrainedModel::from_json(&model.to_json()).unwrap();
         let node = &by_name("Bebop").unwrap().spec.node;
         for logm in [0usize, 8, 16] {
             let job = JobConfig::new(2, 4, 1 << logm);
             assert_eq!(model.predict(node, job), back.predict(node, job));
         }
+    }
+
+    #[test]
+    fn batched_prediction_matches_per_job() {
+        let recs = tiny_records(Collective::Alltoall);
+        let cfg = TrainConfig {
+            forest: ForestParams {
+                n_estimators: 12,
+                seed: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = PretrainedModel::train(&recs, Collective::Alltoall, &cfg).unwrap();
+        let node = &by_name("Frontera").unwrap().spec.node;
+        let jobs: Vec<JobConfig> = [(1, 2, 16), (2, 4, 1024), (3, 5, 65536), (16, 56, 1 << 20)]
+            .into_iter()
+            .map(|(n, p, m)| JobConfig::new(n, p, m))
+            .collect();
+        let batch = model.predict_batch(node, &jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for (a, &j) in batch.iter().zip(&jobs) {
+            assert_eq!(*a, model.predict(node, j));
+            assert!(a.supports(j.world_size()));
+        }
+    }
+
+    #[test]
+    fn training_without_records_errors() {
+        let err = PretrainedModel::train(&[], Collective::Allgather, &TrainConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, PmlError::NoTrainingRecords(_)), "{err}");
+        assert!(PretrainedModel::train_restricted(
+            &tiny_records(Collective::Alltoall),
+            Collective::Alltoall,
+            &TrainConfig::default(),
+            &[],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn selector_rejects_model_in_wrong_slot() {
+        let recs = tiny_records(Collective::Alltoall);
+        let aa =
+            PretrainedModel::train(&recs, Collective::Alltoall, &TrainConfig::default()).unwrap();
+        let node = by_name("Frontera").unwrap().spec.node.clone();
+        assert!(MlSelector::new(node, Some(aa), None).is_err());
     }
 
     #[test]
@@ -375,9 +483,10 @@ mod tests {
                 },
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let node = by_name("Frontera").unwrap().spec.node.clone();
-        let sel = MlSelector::new(node, Some(ag), None);
+        let sel = MlSelector::new(node, Some(ag), None).unwrap();
         let a = sel.select(Collective::Allgather, JobConfig::new(2, 2, 512));
         assert_eq!(a.collective(), Collective::Allgather);
     }
@@ -386,7 +495,7 @@ mod tests {
     fn selector_falls_back_to_default_rules_without_a_model() {
         use crate::selectors::MvapichDefault;
         let node = by_name("Frontera").unwrap().spec.node.clone();
-        let sel = MlSelector::new(node, None, None);
+        let sel = MlSelector::new(node, None, None).unwrap();
         let job = JobConfig::new(2, 4, 4096);
         for coll in Collective::ALL {
             assert_eq!(sel.select(coll, job), MvapichDefault.select(coll, job));
@@ -404,9 +513,11 @@ mod tests {
             },
             ..Default::default()
         };
-        let aa = PretrainedModel::train(&recs, Collective::Alltoall, &cfg);
+        let aa = PretrainedModel::train(&recs, Collective::Alltoall, &cfg).unwrap();
         let node = by_name("Frontera").unwrap().spec.node.clone();
-        let sel = MlSelector::new(node, None, None).with_model(aa.clone());
+        let sel = MlSelector::new(node, None, None)
+            .unwrap()
+            .with_model(aa.clone());
         assert!(sel.model_for(Collective::Alltoall).is_some());
         assert!(sel.model_for(Collective::Bcast).is_none());
     }

@@ -50,6 +50,13 @@ pub trait AlgorithmSelector {
     /// Choose an algorithm for this collective and job. Implementations
     /// must return an algorithm that supports the job's world size.
     fn select(&self, collective: Collective, job: JobConfig) -> Algorithm;
+
+    /// Choose algorithms for a whole batch of jobs. The default loops over
+    /// [`AlgorithmSelector::select`]; selectors with a cheaper bulk path
+    /// (the ML selector runs one batched forest inference) override it.
+    fn select_batch(&self, collective: Collective, jobs: &[JobConfig]) -> Vec<Algorithm> {
+        jobs.iter().map(|&j| self.select(collective, j)).collect()
+    }
 }
 
 /// If `preferred` is undefined at this world size, fall back to the best
@@ -230,9 +237,11 @@ impl AlgorithmSelector for RandomSelector {
             .wrapping_add(job.msg_size as u64)
             .wrapping_add(collective as u64);
         let mut rng = StdRng::seed_from_u64(mix);
-        *candidates
-            .choose(&mut rng)
-            .expect("at least one algorithm applies")
+        match candidates.choose(&mut rng) {
+            Some(a) => *a,
+            // applicable_for never returns an empty set, but stay total.
+            None => MvapichDefault.select(collective, job),
+        }
     }
 }
 
@@ -301,9 +310,13 @@ impl AlgorithmSelector for OracleSelector {
                 (d, *a)
             })
             .min_by(|a, b| a.0.total_cmp(&b.0))
-            .map(|(_, a)| a)
-            .expect("oracle has at least one record for this collective");
-        applicable_or_fallback(best, job.world_size())
+            .map(|(_, a)| a);
+        match best {
+            Some(a) => applicable_or_fallback(a, job.world_size()),
+            // No measurements for this collective at all: behave like the
+            // library default rather than dying mid-benchmark.
+            None => MvapichDefault.select(collective, job),
+        }
     }
 }
 
@@ -387,7 +400,8 @@ mod tests {
                 4,
                 64,
                 &DatagenConfig::noiseless(),
-            ),
+            )
+            .unwrap(),
             measure_cell(
                 e,
                 Collective::Alltoall,
@@ -395,7 +409,8 @@ mod tests {
                 4,
                 65536,
                 &DatagenConfig::noiseless(),
-            ),
+            )
+            .unwrap(),
         ];
         let o = OracleSelector::from_records("RI", &recs);
         assert_eq!(o.len(), 2);
@@ -408,6 +423,29 @@ mod tests {
             o.select(Collective::Alltoall, JobConfig::new(2, 4, 100)),
             recs[0].best
         );
+    }
+
+    #[test]
+    fn oracle_without_records_falls_back_to_default_rules() {
+        let o = OracleSelector::from_records("nowhere", &[]);
+        assert!(o.is_empty());
+        let job = JobConfig::new(2, 4, 4096);
+        for coll in Collective::ALL {
+            assert_eq!(o.select(coll, job), MvapichDefault.select(coll, job));
+        }
+    }
+
+    #[test]
+    fn select_batch_matches_per_job_selection() {
+        let jobs: Vec<JobConfig> = (0..=16)
+            .map(|logm| JobConfig::new(4, 8, 1 << logm))
+            .collect();
+        for selector in [&MvapichDefault as &dyn AlgorithmSelector, &OpenMpiDefault] {
+            let batch = selector.select_batch(Collective::Allgather, &jobs);
+            for (a, &j) in batch.iter().zip(&jobs) {
+                assert_eq!(*a, selector.select(Collective::Allgather, j));
+            }
+        }
     }
 
     #[test]

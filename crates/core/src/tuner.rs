@@ -7,6 +7,7 @@
 //! so the steady-state cost is one hash-map probe — the "constant time at
 //! application runtime" the paper's title promises.
 
+use crate::error::PmlError;
 use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault};
 use crate::tuning_table::TuningTable;
 use pml_collectives::{Algorithm, Collective};
@@ -35,18 +36,27 @@ impl Tuner {
         }
     }
 
-    /// Load every `*.json` tuning table in a directory.
-    pub fn from_dir(dir: &std::path::Path) -> std::io::Result<Self> {
+    /// Load every `*.json` tuning table in a directory. Files that fail to
+    /// parse are skipped, not fatal — the warnings list says which and why
+    /// (a deployment with one damaged table still serves the rest).
+    pub fn from_dir(dir: &std::path::Path) -> Result<(Self, Vec<String>), PmlError> {
+        let io_err = |e: std::io::Error, path: &std::path::Path| PmlError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        };
         let mut tables = Vec::new();
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
+        let mut warnings = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| io_err(e, dir))? {
+            let path = entry.map_err(|e| io_err(e, dir))?.path();
             if path.extension().is_some_and(|e| e == "json") {
-                if let Ok(t) = TuningTable::from_json(&std::fs::read_to_string(&path)?) {
-                    tables.push(t);
+                let text = std::fs::read_to_string(&path).map_err(|e| io_err(e, &path))?;
+                match TuningTable::from_json(&text) {
+                    Ok(t) => tables.push(t),
+                    Err(e) => warnings.push(format!("skipping table {}: {e}", path.display())),
                 }
             }
         }
-        Ok(Tuner::new(tables))
+        Ok((Tuner::new(tables), warnings))
     }
 
     /// Which collectives have tables loaded.
@@ -98,8 +108,10 @@ mod tests {
 
     fn table() -> TuningTable {
         let mut t = TuningTable::new("X", Collective::Alltoall);
-        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck));
-        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise));
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck))
+            .unwrap();
+        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise))
+            .unwrap();
         t
     }
 
@@ -132,7 +144,8 @@ mod tests {
             2,
             64,
             Algorithm::Alltoall(AlltoallAlgo::RecursiveDoubling),
-        );
+        )
+        .unwrap();
         let tuner = Tuner::new([t]);
         let a = tuner.select(Collective::Alltoall, JobConfig::new(3, 2, 64));
         assert!(a.supports(6));
@@ -145,8 +158,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("aa.json"), table().to_json()).unwrap();
         std::fs::write(dir.join("junk.json"), "not json").unwrap();
-        let tuner = Tuner::from_dir(&dir).unwrap();
+        let (tuner, warnings) = Tuner::from_dir(&dir).unwrap();
         assert_eq!(tuner.covered(), vec![Collective::Alltoall]);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("junk.json"), "{warnings:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,6 +6,7 @@
 //! geometrically nearest bucket (message sizes and node counts live on
 //! log-scale grids).
 
+use crate::error::PmlError;
 use pml_collectives::{Algorithm, Collective};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -36,13 +37,21 @@ impl TuningTable {
         }
     }
 
-    /// Insert or replace the entry for a grid point.
-    pub fn insert(&mut self, nodes: u32, ppn: u32, msg_size: u64, algorithm: Algorithm) {
-        assert_eq!(
-            algorithm.collective(),
-            self.collective,
-            "algorithm belongs to a different collective"
-        );
+    /// Insert or replace the entry for a grid point. Rejects algorithms of
+    /// a different collective than the table's.
+    pub fn insert(
+        &mut self,
+        nodes: u32,
+        ppn: u32,
+        msg_size: u64,
+        algorithm: Algorithm,
+    ) -> Result<(), PmlError> {
+        if algorithm.collective() != self.collective {
+            return Err(PmlError::CrossCollective {
+                expected: self.collective,
+                got: algorithm.collective(),
+            });
+        }
         match self
             .entries
             .iter_mut()
@@ -56,6 +65,7 @@ impl TuningTable {
                 algorithm,
             }),
         }
+        Ok(())
     }
 
     pub fn len(&self) -> usize {
@@ -103,8 +113,21 @@ impl TuningTable {
         serde_json::to_string_pretty(self).expect("tuning table serializes")
     }
 
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parse and validate the JSON wire format: every entry's algorithm
+    /// must belong to the table's collective.
+    pub fn from_json(s: &str) -> Result<Self, PmlError> {
+        let table: TuningTable = serde_json::from_str(s)?;
+        if let Some(bad) = table
+            .entries
+            .iter()
+            .find(|e| e.algorithm.collective() != table.collective)
+        {
+            return Err(PmlError::CrossCollective {
+                expected: table.collective,
+                got: bad.algorithm.collective(),
+            });
+        }
+        Ok(table)
     }
 
     /// Sort entries for stable output (nodes, ppn, msg).
@@ -169,9 +192,12 @@ mod tests {
 
     fn table() -> TuningTable {
         let mut t = TuningTable::new("X", Collective::Alltoall);
-        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck));
-        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise));
-        t.insert(16, 8, 64, Algorithm::Alltoall(AlltoallAlgo::ScatterDest));
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck))
+            .unwrap();
+        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise))
+            .unwrap();
+        t.insert(16, 8, 64, Algorithm::Alltoall(AlltoallAlgo::ScatterDest))
+            .unwrap();
         t
     }
 
@@ -198,7 +224,8 @@ mod tests {
     #[test]
     fn insert_replaces() {
         let mut t = table();
-        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Inplace));
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Inplace))
+            .unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(
             t.get(2, 8, 64),
@@ -207,10 +234,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different collective")]
     fn cross_collective_insert_rejected() {
         let mut t = table();
-        t.insert(1, 1, 1, Algorithm::Allgather(AllgatherAlgo::Ring));
+        let err = t
+            .insert(1, 1, 1, Algorithm::Allgather(AllgatherAlgo::Ring))
+            .unwrap_err();
+        assert!(err.to_string().contains("collective mismatch"), "{err}");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn cross_collective_json_rejected() {
+        // A table whose declared collective disagrees with its entries must
+        // not deserialize into an inconsistent value.
+        let mut t = table();
+        t.normalize();
+        let json = t.to_json().replace("\"Alltoall\",", "\"Allgather\",");
+        assert_ne!(json, t.to_json(), "collective field not found");
+        assert!(TuningTable::from_json(&json).is_err());
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! The common classifier interface all four paper models implement.
 
+use crate::error::MlError;
 use crate::matrix::Matrix;
 use crate::tree::argmax;
 
 /// A multiclass probabilistic classifier.
 pub trait Classifier {
     /// Fit on features `x` and labels `y` (each in `0..n_classes`).
-    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize);
+    ///
+    /// Rejects malformed input — shape mismatches, empty data, labels out
+    /// of range, invalid hyperparameters — as an [`MlError`] instead of
+    /// panicking, so callers can surface the problem to their own users.
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError>;
 
     /// Class-probability (or score, normalized) vector for one sample.
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64>;

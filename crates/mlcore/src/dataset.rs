@@ -1,5 +1,6 @@
 //! Labelled dataset: a feature matrix, integer class labels, and metadata.
 
+use crate::error::MlError;
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -15,19 +16,48 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    pub fn new(x: Matrix, y: Vec<usize>, n_classes: usize, feature_names: Vec<String>) -> Self {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
-        assert_eq!(
-            x.cols(),
-            feature_names.len(),
-            "one name per feature required"
-        );
-        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
-        Dataset {
+    /// Validated construction; rejects shape mismatches and labels outside
+    /// `0..n_classes`. This is the entry point for data that originates
+    /// outside the program (files, CLI input).
+    pub fn try_new(
+        x: Matrix,
+        y: Vec<usize>,
+        n_classes: usize,
+        feature_names: Vec<String>,
+    ) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                rows: x.rows(),
+                labels: y.len(),
+            });
+        }
+        if x.cols() != feature_names.len() {
+            return Err(MlError::FeatureCountMismatch {
+                expected: feature_names.len(),
+                got: x.cols(),
+            });
+        }
+        if let Some(&bad) = y.iter().find(|&&c| c >= n_classes) {
+            return Err(MlError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
+        }
+        Ok(Dataset {
             x,
             y,
             n_classes,
             feature_names,
+        })
+    }
+
+    /// Panicking construction for literals whose invariants are known at
+    /// the call site (tests, generated data).
+    pub fn new(x: Matrix, y: Vec<usize>, n_classes: usize, feature_names: Vec<String>) -> Self {
+        match Self::try_new(x, y, n_classes, feature_names) {
+            Ok(d) => d,
+            Err(MlError::LabelOutOfRange { .. }) => panic!("label out of range"),
+            Err(e) => panic!("{e}"),
         }
     }
 

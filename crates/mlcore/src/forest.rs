@@ -2,8 +2,9 @@
 //! Gini-decrease feature importances behind its Figs. 5–6.
 
 use crate::classifier::Classifier;
+use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
-use crate::tree::{normalize, DecisionTree, MaxFeatures, TreeParams};
+use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -48,7 +49,6 @@ pub struct RandomForest {
 
 impl RandomForest {
     pub fn new(params: ForestParams) -> Self {
-        assert!(params.n_estimators >= 1, "need at least one tree");
         RandomForest {
             params,
             trees: Vec::new(),
@@ -82,12 +82,44 @@ impl RandomForest {
         }
         normalize(acc)
     }
+
+    /// Class-probability matrix for a whole batch of rows, trees × rows
+    /// fanned out over rayon. This is the inference hot path: tuning-table
+    /// generation and the ML selector push entire job grids through here
+    /// instead of calling [`Classifier::predict_proba_row`] per cell.
+    pub fn predict_proba_batch(&self, x: &Matrix) -> Matrix {
+        debug_assert!(!self.trees.is_empty(), "predict before fit");
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let probs: Vec<Vec<f64>> = rows
+            .par_iter()
+            .map(|&i| self.predict_proba_row(x.row(i)))
+            .collect();
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for (i, p) in probs.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(p);
+        }
+        out
+    }
+
+    /// Hard predictions for a whole batch of rows, in parallel.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        debug_assert!(!self.trees.is_empty(), "predict before fit");
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        rows.par_iter()
+            .map(|&i| argmax(&self.predict_proba_row(x.row(i))))
+            .collect()
+    }
 }
 
 impl Classifier for RandomForest {
-    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
-        assert_eq!(x.rows(), y.len(), "one label per row");
-        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_fit(x.rows(), y, n_classes)?;
+        if self.params.n_estimators < 1 {
+            return Err(MlError::InvalidParam {
+                param: "n_estimators",
+                why: "need at least one tree".into(),
+            });
+        }
         self.n_classes = n_classes;
         self.n_features = x.cols();
         let n = x.rows();
@@ -159,6 +191,7 @@ impl Classifier for RandomForest {
         };
 
         self.trees = fitted.into_iter().map(|(t, _)| t).collect();
+        Ok(())
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
@@ -209,7 +242,7 @@ mod tests {
             n_estimators: 40,
             ..Default::default()
         });
-        f.fit(&x, &y, 2);
+        f.fit(&x, &y, 2).unwrap();
         let acc = crate::metrics::accuracy(&yt, &f.predict(&xt));
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -227,8 +260,8 @@ mod tests {
             seed: 7,
             ..Default::default()
         });
-        a.fit(&x, &y, 2);
-        b.fit(&x, &y, 2);
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
         assert_eq!(a, b);
     }
 
@@ -239,7 +272,7 @@ mod tests {
             n_estimators: 60,
             ..Default::default()
         });
-        f.fit(&x, &y, 2);
+        f.fit(&x, &y, 2).unwrap();
         let oob = f.oob_score().unwrap();
         assert!(oob > 0.85, "oob {oob}");
     }
@@ -251,7 +284,7 @@ mod tests {
             n_estimators: 40,
             ..Default::default()
         });
-        f.fit(&x, &y, 2);
+        f.fit(&x, &y, 2).unwrap();
         let imp = f.feature_importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Informative features dominate the noise column.
@@ -265,12 +298,28 @@ mod tests {
             n_estimators: 15,
             ..Default::default()
         });
-        f.fit(&x, &y, 2);
+        f.fit(&x, &y, 2).unwrap();
         let p = f.predict_proba(&x);
         for i in 0..p.rows() {
             let s: f64 = p.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
             assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_row() {
+        let (x, y) = noisy_data(120, 9);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 10,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2).unwrap();
+        assert_eq!(f.predict_batch(&x), f.predict(&x));
+        let batched = f.predict_proba_batch(&x);
+        let serial = f.predict_proba(&x);
+        for i in 0..x.rows() {
+            assert_eq!(batched.row(i), serial.row(i));
         }
     }
 
@@ -281,7 +330,7 @@ mod tests {
             n_estimators: 8,
             ..Default::default()
         });
-        f.fit(&x, &y, 2);
+        f.fit(&x, &y, 2).unwrap();
         let json = serde_json::to_string(&f).unwrap();
         let back: RandomForest = serde_json::from_str(&json).unwrap();
         assert_eq!(f.predict(&x), back.predict(&x));

@@ -2,6 +2,7 @@
 //! regression trees on the per-class negative gradient.
 
 use crate::classifier::Classifier;
+use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
 use crate::tree::{MaxFeatures, RegressionTree, TreeParams};
 use rand::rngs::StdRng;
@@ -51,9 +52,6 @@ pub struct GradientBoosting {
 
 impl GradientBoosting {
     pub fn new(params: GBoostParams) -> Self {
-        assert!(params.n_estimators >= 1);
-        assert!(params.learning_rate > 0.0);
-        assert!((0.0..=1.0).contains(&params.subsample) && params.subsample > 0.0);
         GradientBoosting {
             params,
             rounds: Vec::new(),
@@ -90,9 +88,26 @@ fn softmax(scores: &[f64]) -> Vec<f64> {
 }
 
 impl Classifier for GradientBoosting {
-    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
-        assert_eq!(x.rows(), y.len(), "one label per row");
-        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_fit(x.rows(), y, n_classes)?;
+        if self.params.n_estimators < 1 {
+            return Err(MlError::InvalidParam {
+                param: "n_estimators",
+                why: "need at least one boosting round".into(),
+            });
+        }
+        if self.params.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParam {
+                param: "learning_rate",
+                why: format!("{} is not positive", self.params.learning_rate),
+            });
+        }
+        if !(self.params.subsample > 0.0 && self.params.subsample <= 1.0) {
+            return Err(MlError::InvalidParam {
+                param: "subsample",
+                why: format!("{} not in (0, 1]", self.params.subsample),
+            });
+        }
         self.n_classes = n_classes;
         let n = x.rows();
 
@@ -151,6 +166,7 @@ impl Classifier for GradientBoosting {
             }
             self.rounds.push(Round { trees });
         }
+        Ok(())
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
@@ -189,7 +205,7 @@ mod tests {
             n_estimators: 30,
             ..Default::default()
         });
-        g.fit(&x, &y, 3);
+        g.fit(&x, &y, 3).unwrap();
         let acc = crate::metrics::accuracy(&yt, &g.predict(&xt));
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -205,8 +221,8 @@ mod tests {
             n_estimators: 40,
             ..Default::default()
         });
-        weak.fit(&x, &y, 3);
-        strong.fit(&x, &y, 3);
+        weak.fit(&x, &y, 3).unwrap();
+        strong.fit(&x, &y, 3).unwrap();
         let aw = crate::metrics::accuracy(&y, &weak.predict(&x));
         let as_ = crate::metrics::accuracy(&y, &strong.predict(&x));
         assert!(as_ >= aw);
@@ -219,7 +235,7 @@ mod tests {
             n_estimators: 5,
             ..Default::default()
         });
-        g.fit(&x, &y, 3);
+        g.fit(&x, &y, 3).unwrap();
         for i in 0..x.rows() {
             let p = g.predict_proba_row(x.row(i));
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -237,8 +253,8 @@ mod tests {
         };
         let mut a = GradientBoosting::new(params);
         let mut b = GradientBoosting::new(params);
-        a.fit(&x, &y, 3);
-        b.fit(&x, &y, 3);
+        a.fit(&x, &y, 3).unwrap();
+        b.fit(&x, &y, 3).unwrap();
         assert_eq!(a, b);
     }
 

@@ -2,6 +2,7 @@
 //! vote). One of the two simple baselines the paper found to underfit.
 
 use crate::classifier::Classifier;
+use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +31,6 @@ pub struct Knn {
 
 impl Knn {
     pub fn new(params: KnnParams) -> Self {
-        assert!(params.k >= 1, "k must be at least 1");
         Knn {
             params,
             x: None,
@@ -55,9 +55,14 @@ impl Knn {
 }
 
 impl Classifier for Knn {
-    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
-        assert_eq!(x.rows(), y.len(), "one label per row");
-        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_fit(x.rows(), y, n_classes)?;
+        if self.params.k < 1 {
+            return Err(MlError::InvalidParam {
+                param: "k",
+                why: "must be at least 1".into(),
+            });
+        }
         let (mean, std) = x.column_stats();
         self.mean = mean;
         self.std = std;
@@ -69,6 +74,7 @@ impl Classifier for Knn {
         self.x = Some(z);
         self.y = y.to_vec();
         self.n_classes = n_classes;
+        Ok(())
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
@@ -112,7 +118,7 @@ mod tests {
         let x = Matrix::from_rows([[0.0, 0.0], [0.1, 0.1], [5.0, 5.0], [5.1, 5.2]]);
         let y = vec![0, 0, 1, 1];
         let mut m = Knn::new(KnnParams { k: 1 });
-        m.fit(&x, &y, 2);
+        m.fit(&x, &y, 2).unwrap();
         assert_eq!(
             m.predict(&Matrix::from_rows([[0.05, 0.0], [5.05, 5.1]])),
             vec![0, 1]
@@ -125,7 +131,7 @@ mod tests {
         let x = Matrix::from_rows([[1000.0, 0.0], [-950.0, 0.1], [980.0, 5.0], [-990.0, 5.1]]);
         let y = vec![0, 0, 1, 1];
         let mut m = Knn::new(KnnParams { k: 1 });
-        m.fit(&x, &y, 2);
+        m.fit(&x, &y, 2).unwrap();
         let pred = m.predict(&Matrix::from_rows([[0.0, 0.05], [0.0, 5.05]]));
         assert_eq!(pred, vec![0, 1]);
     }
@@ -135,7 +141,7 @@ mod tests {
         let x = Matrix::from_rows([[0.0], [0.2], [0.4], [5.0]]);
         let y = vec![0, 0, 1, 1];
         let mut m = Knn::new(KnnParams { k: 3 });
-        m.fit(&x, &y, 2);
+        m.fit(&x, &y, 2).unwrap();
         let p = m.predict_proba_row(&[0.1]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert_eq!(p, vec![2.0 / 3.0, 1.0 / 3.0]);
@@ -146,7 +152,7 @@ mod tests {
         let x = Matrix::from_rows([[0.0], [1.0]]);
         let y = vec![0, 1];
         let mut m = Knn::new(KnnParams { k: 50 });
-        m.fit(&x, &y, 2);
+        m.fit(&x, &y, 2).unwrap();
         let p = m.predict_proba_row(&[0.4]);
         assert_eq!(p, vec![0.5, 0.5]);
     }

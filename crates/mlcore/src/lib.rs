@@ -14,6 +14,7 @@
 
 pub mod classifier;
 pub mod dataset;
+pub mod error;
 pub mod forest;
 pub mod gboost;
 pub mod knn;
@@ -25,6 +26,7 @@ pub mod tree;
 
 pub use classifier::Classifier;
 pub use dataset::Dataset;
+pub use error::MlError;
 pub use forest::{ForestParams, RandomForest};
 pub use gboost::{GBoostParams, GradientBoosting};
 pub use knn::{Knn, KnnParams};

@@ -4,28 +4,45 @@
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
+use crate::error::MlError;
 use crate::metrics::{accuracy, macro_ovr_auc};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Shuffled train/test split: `test_fraction` of rows go to the test set.
-pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!(
-        (0.0..1.0).contains(&test_fraction),
-        "test fraction must be in [0, 1)"
-    );
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), MlError> {
+    if !(0.0..1.0).contains(&test_fraction) {
+        return Err(MlError::InvalidParam {
+            param: "test_fraction",
+            why: format!("{test_fraction} not in [0, 1)"),
+        });
+    }
     let mut idx: Vec<usize> = (0..data.len()).collect();
     idx.shuffle(&mut StdRng::seed_from_u64(seed));
     let n_test = ((data.len() as f64) * test_fraction).round() as usize;
     let (test_idx, train_idx) = idx.split_at(n_test.min(data.len()));
-    (data.select(train_idx), data.select(test_idx))
+    Ok((data.select(train_idx), data.select(test_idx)))
 }
 
 /// Stratified k-fold assignment: `fold[i]` in `0..k`, with each class's
 /// samples spread evenly over folds.
-pub fn stratified_folds(y: &[usize], n_classes: usize, k: usize, seed: u64) -> Vec<usize> {
-    assert!(k >= 2, "need at least two folds");
+pub fn stratified_folds(
+    y: &[usize],
+    n_classes: usize,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<usize>, MlError> {
+    if k < 2 {
+        return Err(MlError::InvalidParam {
+            param: "k",
+            why: "need at least two folds".into(),
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fold = vec![0usize; y.len()];
     for c in 0..n_classes {
@@ -35,7 +52,7 @@ pub fn stratified_folds(y: &[usize], n_classes: usize, k: usize, seed: u64) -> V
             fold[i] = pos % k;
         }
     }
-    fold
+    Ok(fold)
 }
 
 /// What a cross-validation run optimizes.
@@ -54,12 +71,12 @@ pub fn cross_val_score<M, F>(
     seed: u64,
     scoring: Scoring,
     make_model: F,
-) -> f64
+) -> Result<f64, MlError>
 where
     M: Classifier,
     F: Fn() -> M,
 {
-    let folds = stratified_folds(&data.y, data.n_classes, k, seed);
+    let folds = stratified_folds(&data.y, data.n_classes, k, seed)?;
     let mut total = 0.0;
     for f in 0..k {
         let train_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != f).collect();
@@ -70,13 +87,13 @@ where
         let train = data.select(&train_idx);
         let val = data.select(&val_idx);
         let mut model = make_model();
-        model.fit(&train.x, &train.y, data.n_classes);
+        model.fit(&train.x, &train.y, data.n_classes)?;
         total += match scoring {
             Scoring::Accuracy => accuracy(&val.y, &model.predict(&val.x)),
             Scoring::MacroAuc => macro_ovr_auc(&val.y, &model.predict_proba(&val.x)),
         };
     }
-    total / k as f64
+    Ok(total / k as f64)
 }
 
 /// Exhaustive grid search: evaluates `make_model(params)` for every
@@ -88,21 +105,20 @@ pub fn grid_search<P, M, F>(
     seed: u64,
     scoring: Scoring,
     make_model: F,
-) -> (P, f64)
+) -> Result<(P, f64), MlError>
 where
     P: Clone,
     M: Classifier,
     F: Fn(&P) -> M,
 {
-    assert!(!candidates.is_empty(), "grid search needs candidates");
     let mut best: Option<(P, f64)> = None;
     for p in candidates {
-        let score = cross_val_score(data, k, seed, scoring, || make_model(p));
+        let score = cross_val_score(data, k, seed, scoring, || make_model(p))?;
         if best.as_ref().is_none_or(|(_, bs)| score > *bs) {
             best = Some((p.clone(), score));
         }
     }
-    best.unwrap()
+    best.ok_or(MlError::NoCandidates)
 }
 
 #[cfg(test)]
@@ -128,7 +144,7 @@ mod tests {
     #[test]
     fn split_partitions_data() {
         let d = dataset(100, 1);
-        let (train, test) = train_test_split(&d, 0.3, 42);
+        let (train, test) = train_test_split(&d, 0.3, 42).unwrap();
         assert_eq!(train.len(), 70);
         assert_eq!(test.len(), 30);
     }
@@ -136,15 +152,15 @@ mod tests {
     #[test]
     fn split_is_deterministic() {
         let d = dataset(50, 2);
-        let (a, _) = train_test_split(&d, 0.3, 7);
-        let (b, _) = train_test_split(&d, 0.3, 7);
+        let (a, _) = train_test_split(&d, 0.3, 7).unwrap();
+        let (b, _) = train_test_split(&d, 0.3, 7).unwrap();
         assert_eq!(a.y, b.y);
     }
 
     #[test]
     fn stratified_folds_balance_classes() {
         let y: Vec<usize> = (0..100).map(|i| usize::from(i < 20)).collect();
-        let folds = stratified_folds(&y, 2, 5, 0);
+        let folds = stratified_folds(&y, 2, 5, 0).unwrap();
         for f in 0..5 {
             let minority = (0..100).filter(|&i| folds[i] == f && y[i] == 1).count();
             assert_eq!(minority, 4); // 20 minority samples over 5 folds
@@ -159,7 +175,8 @@ mod tests {
                 n_estimators: 15,
                 ..Default::default()
             })
-        });
+        })
+        .unwrap();
         assert!(score > 0.85, "cv accuracy {score}");
     }
 
@@ -172,7 +189,8 @@ mod tests {
                 n_estimators: n,
                 ..Default::default()
             })
-        });
+        })
+        .unwrap();
         assert_eq!(best, 25);
         assert!(score > 0.9);
     }

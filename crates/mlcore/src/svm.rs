@@ -4,6 +4,7 @@
 //! linear).
 
 use crate::classifier::Classifier;
+use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -44,7 +45,6 @@ pub struct LinearSvm {
 
 impl LinearSvm {
     pub fn new(params: SvmParams) -> Self {
-        assert!(params.lambda > 0.0 && params.epochs >= 1);
         LinearSvm {
             params,
             w: Vec::new(),
@@ -76,9 +76,20 @@ impl LinearSvm {
 }
 
 impl Classifier for LinearSvm {
-    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
-        assert_eq!(x.rows(), y.len(), "one label per row");
-        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_fit(x.rows(), y, n_classes)?;
+        if self.params.lambda <= 0.0 {
+            return Err(MlError::InvalidParam {
+                param: "lambda",
+                why: format!("{} is not positive", self.params.lambda),
+            });
+        }
+        if self.params.epochs < 1 {
+            return Err(MlError::InvalidParam {
+                param: "epochs",
+                why: "need at least one epoch".into(),
+            });
+        }
         let n = x.rows();
         let d = x.cols();
         self.n_classes = n_classes;
@@ -118,6 +129,7 @@ impl Classifier for LinearSvm {
                 }
             }
         }
+        Ok(())
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
@@ -160,7 +172,7 @@ mod tests {
         let (x, y) = linearly_separable(400, 1);
         let (xt, yt) = linearly_separable(200, 2);
         let mut m = LinearSvm::new(SvmParams::default());
-        m.fit(&x, &y, 2);
+        m.fit(&x, &y, 2).unwrap();
         let acc = crate::metrics::accuracy(&yt, &m.predict(&xt));
         assert!(acc > 0.93, "accuracy {acc}");
     }
@@ -180,7 +192,7 @@ mod tests {
         }
         let x = Matrix::from_rows(rows);
         let mut m = LinearSvm::new(SvmParams::default());
-        m.fit(&x, &y, 2);
+        m.fit(&x, &y, 2).unwrap();
         let acc = crate::metrics::accuracy(&y, &m.predict(&x));
         assert!(acc < 0.75, "XOR should not be separable, got {acc}");
     }
@@ -196,8 +208,8 @@ mod tests {
             seed: 5,
             ..Default::default()
         });
-        a.fit(&x, &y, 2);
-        b.fit(&x, &y, 2);
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
         assert_eq!(a, b);
     }
 
@@ -216,7 +228,7 @@ mod tests {
             epochs: 60,
             ..Default::default()
         });
-        m.fit(&x, &y, 3);
+        m.fit(&x, &y, 3).unwrap();
         let acc = crate::metrics::accuracy(&y, &m.predict(&x));
         assert!(acc > 0.9, "accuracy {acc}");
     }

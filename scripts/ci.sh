@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: formatting, lints-as-errors, release
+# build, and the test suite. CI (.github/workflows/ci.yml) runs exactly
+# this script, so a clean local run means a green check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

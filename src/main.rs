@@ -1,0 +1,460 @@
+//! `pml-mpi` — command-line front end for the selection framework.
+//!
+//! Six subcommands cover the offline → online lifecycle:
+//!
+//! ```text
+//! zoo       list the 18-cluster benchmark zoo
+//! dataset   generate (or load cached) micro-benchmark records
+//! train     train a model for one collective
+//! predict   pick an algorithm for a job (zoo cluster or captured hw files)
+//! table     emit the JSON tuning table for a (cluster, collective)
+//! compare   ML pick vs library defaults vs oracle over a message sweep
+//! ```
+//!
+//! Argument parsing is hand rolled (the build is offline — no clap); every
+//! user error surfaces as a message on stderr and exit code 1, never a
+//! panic.
+
+use pml_mpi::clusters::measure_cell;
+use pml_mpi::core::{parse_ibstat, parse_lscpu, parse_lspci_link};
+use pml_mpi::simnet::{InterconnectSpec, PcieVersion};
+use pml_mpi::{
+    by_name, Algorithm, AlgorithmSelector, Collective, EngineConfig, JobConfig, MvapichDefault,
+    NodeSpec, OpenMpiDefault, PretrainedModel, SelectionEngine, FEATURE_NAMES,
+};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print_help();
+            Ok(())
+        }
+        Some("zoo") => cmd_zoo(),
+        Some("dataset") => cmd_dataset(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("table") => cmd_table(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some(other) => Err(format!("unknown subcommand {other:?} — run `pml-mpi help`").into()),
+    }
+}
+
+fn print_help() {
+    println!(
+        "\
+pml-mpi — pre-trained ML selection of MPI collective algorithms
+
+USAGE: pml-mpi <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+  zoo                              list the 18-cluster benchmark zoo
+  dataset <collective>             generate or load the micro-benchmark dataset
+  train <collective>               train the Random Forest for one collective
+  predict <collective>             pick an algorithm for one job
+  table <cluster> <collective>     emit a cluster's JSON tuning table
+  compare <cluster> <collective>   ML vs library defaults vs oracle
+  help                             show this message
+
+COMMON OPTIONS:
+  --cache-dir DIR   dataset cache directory (default: ./data when present)
+  --no-cache        regenerate datasets in memory, ignore any cache
+  --out FILE        write the command's JSON artifact to FILE
+
+PREDICT OPTIONS:
+  --cluster NAME    use a zoo cluster's hardware
+  --lscpu FILE      captured `lscpu` output (with --ibstat; instead of --cluster)
+  --ibstat FILE     captured `ibstat` output
+  --lspci FILE      captured `lspci -vv` link status (optional; Gen3 x16 assumed)
+  --mem-bw GBS      measured STREAM bandwidth (optional with --lscpu)
+  --model FILE      load a trained model JSON instead of training
+  --nodes N --ppn P --msg BYTES    the job (required)
+
+COMPARE OPTIONS:
+  --nodes N --ppn P [--msg BYTES]  fixed job shape; without --msg a
+                                   1 B … 1 MiB power-of-two sweep runs
+
+EXAMPLES:
+  pml-mpi train allgather --out model_ag.json
+  pml-mpi predict allgather --cluster Frontera --nodes 16 --ppn 56 --msg 4096
+  pml-mpi predict alltoall --lscpu examples/captures/lscpu_frontera.txt \\
+      --ibstat examples/captures/ibstat_edr.txt --nodes 8 --ppn 56 --msg 65536
+  pml-mpi table Frontera allgather --out frontera_allgather.json
+  pml-mpi compare Frontera alltoall --nodes 16 --ppn 56"
+    );
+}
+
+/// Hand-rolled `--flag value` / positional splitter. Unknown flags are an
+/// error so typos do not silently change behaviour.
+struct Opts {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// `switches` take no value; every other `--flag` consumes one.
+    fn parse(args: &[String], known: &[&str], switches: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let (name, inline) = match name.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (name, None),
+                };
+                if switches.contains(&name) {
+                    flags.insert(name.to_string(), String::new());
+                } else if known.contains(&name) {
+                    let v = match inline {
+                        Some(v) => v,
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| format!("--{name} needs a value"))?,
+                    };
+                    flags.insert(name.to_string(), v);
+                } else {
+                    return Err(format!("unknown option --{name}"));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn require_u32(&self, name: &str) -> Result<u32, String> {
+        let v = self
+            .get(name)
+            .ok_or_else(|| format!("missing required --{name}"))?;
+        v.parse()
+            .map_err(|_| format!("--{name} expects an integer, got {v:?}"))
+    }
+
+    fn require_usize(&self, name: &str) -> Result<usize, String> {
+        let v = self
+            .get(name)
+            .ok_or_else(|| format!("missing required --{name}"))?;
+        v.parse()
+            .map_err(|_| format!("--{name} expects an integer, got {v:?}"))
+    }
+}
+
+fn parse_collective(s: &str) -> Result<Collective, String> {
+    let want = s.to_ascii_lowercase();
+    let want = want.trim_start_matches("mpi_");
+    Collective::ALL
+        .iter()
+        .copied()
+        .find(|c| c.name().trim_start_matches("MPI_").to_ascii_lowercase() == want)
+        .ok_or_else(|| {
+            format!("unknown collective {s:?} (expected allgather, alltoall, bcast, or allreduce)")
+        })
+}
+
+/// The engine every subcommand shares: default config, dataset cache in
+/// `--cache-dir`, falling back to the repo's committed `./data` when it
+/// exists (so `train`/`predict` do not re-benchmark the whole zoo).
+fn build_engine(opts: &Opts) -> SelectionEngine {
+    let cache_dir = if opts.has("no-cache") {
+        None
+    } else {
+        match opts.get("cache-dir") {
+            Some(d) => Some(PathBuf::from(d)),
+            None => Path::new("data").is_dir().then(|| PathBuf::from("data")),
+        }
+    };
+    SelectionEngine::new(EngineConfig {
+        cache_dir,
+        ..EngineConfig::default()
+    })
+}
+
+fn report_warnings(engine: &SelectionEngine) {
+    for w in engine.warnings() {
+        eprintln!("warning: {w}");
+    }
+}
+
+fn write_or_print(out: Option<&str>, json: &str, what: &str) -> Result<(), Box<dyn Error>> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("{what} written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_zoo() -> Result<(), Box<dyn Error>> {
+    println!(
+        "{:<14} {:<40} {:>5} {:>6}  {:<10} {:>12}",
+        "cluster", "processor", "cores", "clock", "fabric", "grid cells"
+    );
+    for e in pml_mpi::zoo() {
+        let cpu = &e.spec.node.cpu;
+        let nic = &e.spec.node.nic;
+        println!(
+            "{:<14} {:<40} {:>5} {:>5.2}G  {:<10} {:>12}",
+            e.name(),
+            cpu.model,
+            cpu.cores,
+            cpu.max_clock_ghz,
+            format!("{:?} x{}", nic.generation, nic.link_width),
+            e.grid_size(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dataset(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["cache-dir", "out"], &["no-cache"])?;
+    let [coll] = opts.positional.as_slice() else {
+        return Err("usage: pml-mpi dataset <collective> [--out FILE]".into());
+    };
+    let coll = parse_collective(coll)?;
+    let mut engine = build_engine(&opts);
+    let records = engine.dataset(coll)?;
+    report_warnings(&engine);
+    let mut per_cluster: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in &records {
+        *per_cluster.entry(r.cluster.as_str()).or_default() += 1;
+    }
+    eprintln!(
+        "{coll}: {} records / {} clusters",
+        records.len(),
+        per_cluster.len()
+    );
+    if let Some(path) = opts.get("out") {
+        let json =
+            serde_json::to_string(&records).map_err(|e| format!("serializing dataset: {e}"))?;
+        write_or_print(Some(path), &json, "dataset")?;
+    } else {
+        for (name, n) in &per_cluster {
+            println!("{name:<14} {n}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["cache-dir", "out"], &["no-cache"])?;
+    let [coll] = opts.positional.as_slice() else {
+        return Err("usage: pml-mpi train <collective> [--out FILE]".into());
+    };
+    let coll = parse_collective(coll)?;
+    let mut engine = build_engine(&opts);
+    let model = engine.train(coll)?.clone();
+    report_warnings(&engine);
+    let features: Vec<&str> = model
+        .selected_features()
+        .iter()
+        .map(|&i| FEATURE_NAMES[i])
+        .collect();
+    eprintln!(
+        "{coll}: trained; selected features: {}",
+        features.join(", ")
+    );
+    if let Some(oob) = model.oob_score() {
+        eprintln!("out-of-bag accuracy: {:.1}%", oob * 100.0);
+    }
+    if let Some(path) = opts.get("out") {
+        write_or_print(Some(path), &model.to_json(), "model")?;
+    }
+    Ok(())
+}
+
+/// Hardware for `predict`: a zoo cluster by name, or a node assembled from
+/// captured `lscpu`/`ibstat` (and optionally `lspci -vv`) output.
+fn resolve_node(opts: &Opts) -> Result<NodeSpec, Box<dyn Error>> {
+    if let Some(name) = opts.get("cluster") {
+        let entry =
+            by_name(name).ok_or_else(|| format!("unknown cluster {name:?} — see `pml-mpi zoo`"))?;
+        return Ok(entry.spec.node.clone());
+    }
+    let (Some(lscpu_path), Some(ibstat_path)) = (opts.get("lscpu"), opts.get("ibstat")) else {
+        return Err(
+            "predict needs either --cluster NAME or both --lscpu and --ibstat files".into(),
+        );
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let mem_bw = match opts.get("mem-bw") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--mem-bw expects a number, got {v:?}"))?,
+        ),
+        None => None,
+    };
+    let cpu = parse_lscpu(&read(lscpu_path)?, mem_bw)?;
+    let (generation, link_width) = parse_ibstat(&read(ibstat_path)?)?;
+    // PCIe attachment is a second-order feature; without a capture assume
+    // the era-typical Gen3 x16 slot.
+    let (pcie_version, pcie_lanes) = match opts.get("lspci") {
+        Some(p) => parse_lspci_link(&read(p)?)?,
+        None => (PcieVersion::Gen3, 16),
+    };
+    Ok(NodeSpec {
+        cpu,
+        nic: InterconnectSpec {
+            generation,
+            link_width,
+            pcie_version,
+            pcie_lanes,
+        },
+    })
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "cache-dir",
+            "cluster",
+            "lscpu",
+            "ibstat",
+            "lspci",
+            "mem-bw",
+            "model",
+            "nodes",
+            "ppn",
+            "msg",
+        ],
+        &["no-cache"],
+    )?;
+    let [coll] = opts.positional.as_slice() else {
+        return Err(
+            "usage: pml-mpi predict <collective> --nodes N --ppn P --msg BYTES \
+             (--cluster NAME | --lscpu F --ibstat F)"
+                .into(),
+        );
+    };
+    let coll = parse_collective(coll)?;
+    let job = JobConfig::new(
+        opts.require_u32("nodes")?,
+        opts.require_u32("ppn")?,
+        opts.require_usize("msg")?,
+    );
+    let node = resolve_node(&opts)?;
+    let model = match opts.get("model") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let model = PretrainedModel::from_json(&text)
+                .map_err(|e| format!("parsing model {path}: {e}"))?;
+            if model.collective != coll {
+                return Err(
+                    format!("model in {path} is for {}, not {coll}", model.collective).into(),
+                );
+            }
+            model
+        }
+        None => {
+            let mut engine = build_engine(&opts);
+            let model = engine.train(coll)?.clone();
+            report_warnings(&engine);
+            model
+        }
+    };
+    let pick = model.predict(&node, job);
+    println!(
+        "{coll} at {}x{} ({} ranks), {} B -> {}",
+        job.nodes,
+        job.ppn,
+        job.world_size(),
+        job.msg_size,
+        pick
+    );
+    Ok(())
+}
+
+fn cmd_table(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["cache-dir", "out"], &["no-cache"])?;
+    let [cluster, coll] = opts.positional.as_slice() else {
+        return Err("usage: pml-mpi table <cluster> <collective> [--out FILE]".into());
+    };
+    let coll = parse_collective(coll)?;
+    let mut engine = build_engine(&opts);
+    let table = engine.tuning_table(cluster, coll)?.clone();
+    report_warnings(&engine);
+    eprintln!("{cluster} {coll}: {} table entries", table.len());
+    write_or_print(opts.get("out"), &table.to_json(), "tuning table")
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["cache-dir", "nodes", "ppn", "msg"], &["no-cache"])?;
+    let [cluster, coll] = opts.positional.as_slice() else {
+        return Err(
+            "usage: pml-mpi compare <cluster> <collective> --nodes N --ppn P [--msg BYTES]".into(),
+        );
+    };
+    let coll = parse_collective(coll)?;
+    let nodes = opts.require_u32("nodes")?;
+    let ppn = opts.require_u32("ppn")?;
+    let sizes: Vec<usize> = match opts.get("msg") {
+        Some(_) => vec![opts.require_usize("msg")?],
+        None => (0..21).map(|i| 1usize << i).collect(),
+    };
+    let mut engine = build_engine(&opts);
+    let entry = engine.entry(cluster)?.clone();
+    let model = engine.train(coll)?.clone();
+    report_warnings(&engine);
+    let mva = MvapichDefault;
+    let ompi = OpenMpiDefault;
+    println!(
+        "{:<9} {:<22} {:>9} {:<22} {:>9} {:<22} {:>9} {:<22}",
+        "msg(B)", "ml pick", "us", "mvapich", "us", "openmpi", "us", "oracle"
+    );
+    let fmt_us = |t: Option<f64>| match t {
+        Some(s) => format!("{:.1}", s * 1e6),
+        None => "-".to_string(),
+    };
+    let short = |a: Algorithm| a.name().to_string();
+    for &msg in &sizes {
+        let job = JobConfig::new(nodes, ppn, msg);
+        let record = measure_cell(&entry, coll, nodes, ppn, msg, &engine_cfg_datagen())?;
+        let ml = model.predict(&entry.spec.node, job);
+        let m = mva.select(coll, job);
+        let o = ompi.select(coll, job);
+        println!(
+            "{:<9} {:<22} {:>9} {:<22} {:>9} {:<22} {:>9} {:<22}",
+            msg,
+            short(ml),
+            fmt_us(record.runtime_of(ml)),
+            short(m),
+            fmt_us(record.runtime_of(m)),
+            short(o),
+            fmt_us(record.runtime_of(o)),
+            format!(
+                "{} ({})",
+                short(record.best),
+                fmt_us(Some(record.best_runtime()))
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// `compare` re-measures cells with the same configuration the engine's
+/// datasets use, so its oracle column matches the training distribution.
+fn engine_cfg_datagen() -> pml_mpi::DatagenConfig {
+    pml_mpi::DatagenConfig::default()
+}

@@ -1,0 +1,240 @@
+//! Offline substitute for `criterion` (see `vendor/README.md`).
+//!
+//! Same bench-authoring surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) but a much simpler engine:
+//! one warm-up call sizes an iteration count targeting a fixed wall-clock
+//! budget, then a single timed batch reports mean ns/iter. When invoked with
+//! `--test` (as `cargo test` does for harness-less bench targets) every
+//! benchmark runs exactly once, so the tier-1 test gate stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for the measured batch of each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+const MAX_ITERS: u64 = 1_000_000;
+
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI args, honoring the flags cargo passes to bench
+    /// targets (`--bench`, `--test`) plus an optional name filter.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, &mut routine);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: &mut F) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            report: None,
+        };
+        routine(&mut bencher);
+        match bencher.report {
+            Some(ns) => println!("{id:<60} {:>14} ns/iter", group_digits(ns)),
+            None => println!("{id:<60} (no measurement)"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&id, &mut routine);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&id, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+pub struct Bencher {
+    test_mode: bool,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.report = Some(0.0);
+            return;
+        }
+        // Warm-up call doubles as the iteration-count estimate.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let est = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASURE_BUDGET.as_nanos() / est.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.report = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites also work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn group_digits(ns: f64) -> String {
+    let raw = format!("{ns:.0}");
+    let mut out = String::new();
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_in_normal_mode() {
+        let mut b = Bencher {
+            test_mode: false,
+            report: None,
+        };
+        b.iter(|| 1 + 1);
+        assert!(b.report.is_some());
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut count = 0u32;
+        let mut b = Bencher {
+            test_mode: true,
+            report: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline substitute for `crossbeam` (see `vendor/README.md`).
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided,
+//! delegating to `std::sync::mpsc`. std's unbounded channel has the same
+//! semantics this workspace relies on (FIFO per sender, non-blocking sends,
+//! blocking `recv` that errors once all senders are dropped).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Multi-producer sender half (clonable, non-blocking sends).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Single-consumer receiver half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            assert!(rx.recv().is_err());
+        }
+    }
+}

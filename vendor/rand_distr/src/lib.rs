@@ -1,0 +1,122 @@
+//! Offline substitute for `rand_distr` (see `vendor/README.md`).
+//!
+//! Only the distributions this workspace samples: `Normal` and `LogNormal`,
+//! drawn via Box–Muller (upstream uses the ziggurat, so streams differ —
+//! reproducibility holds against this implementation only).
+
+use rand::Rng;
+use std::fmt;
+
+/// A parameterized distribution that can be sampled from any [`Rng`].
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters (e.g. negative standard deviation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    BadVariance,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Box–Muller standard normal draw. Uses `1 - u` to keep the log argument
+/// strictly positive (`next_f64` is in `[0, 1)`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// `exp(N(mu, sigma))` — multiplicative noise around `exp(mu)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, 0.1).is_ok());
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let d = LogNormal::new(0.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lognormal_moments_roughly_match() {
+        let sigma = 0.25;
+        let d = LogNormal::new(0.0, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = (sigma * sigma / 2.0_f64).exp();
+        assert!(
+            (mean - expected).abs() < 0.02,
+            "sample mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+}

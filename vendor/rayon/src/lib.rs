@@ -1,0 +1,180 @@
+//! Offline substitute for `rayon` (see `vendor/README.md`).
+//!
+//! Implements the small parallel-iterator subset this workspace uses —
+//! `par_iter` / `into_par_iter` with `map`, `flat_map_iter`, and `collect` —
+//! as an *eager* fan-out: each adapter materializes its results by handing
+//! items to scoped worker threads through an atomic cursor. Output order
+//! always matches input order (a per-item slot array, not a concurrent
+//! queue), which the datagen tests rely on. Worker panics propagate to the
+//! caller exactly like rayon's.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// A materialized parallel iterator: adapters run eagerly, in parallel,
+/// preserving item order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, &f),
+        }
+    }
+
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_map(self.items, &|t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map: worker threads pull indices from an atomic
+/// cursor and write into a dedicated output slot per item.
+fn par_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("rayon substitute: input slot poisoned")
+                    .take()
+                    .expect("rayon substitute: item taken twice");
+                let result = f(item);
+                *outputs[i]
+                    .lock()
+                    .expect("rayon substitute: output slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon substitute: output slot poisoned")
+                .expect("rayon substitute: missing output")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_flat_map_iter_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x * 10, x * 10 + 1])
+            .collect();
+        let expected: Vec<usize> = (0..100).flat_map(|x| [x * 10, x * 10 + 1]).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<usize> = Vec::new();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closures_can_borrow_environment() {
+        let base = 7usize;
+        let v: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x + base).collect();
+        assert_eq!(out[0], 7);
+        assert_eq!(out[63], 70);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| if x == 33 { panic!("boom") } else { x })
+            .collect();
+    }
+}

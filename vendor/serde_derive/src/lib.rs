@@ -1,0 +1,381 @@
+//! Offline substitute for `serde_derive` (see `vendor/README.md`).
+//!
+//! Derives `Serialize`/`Deserialize` for the shapes this workspace actually
+//! uses — structs with named fields and enums with unit / tuple / struct
+//! variants — by walking the `proc_macro::TokenStream` directly (no syn or
+//! quote available offline) and emitting the impl as source text. Enums use
+//! serde's externally-tagged representation so the generated code reads and
+//! writes the same JSON as real serde: a unit variant is the bare string
+//! `"Name"`, a one-field tuple variant is `{"Name": value}`, a multi-field
+//! tuple variant is `{"Name": [..]}`, and a struct variant is
+//! `{"Name": {"field": ..}}`.
+//!
+//! Unsupported inputs (generics, tuple structs, `#[serde(..)]` attributes)
+//! fail loudly at expansion time rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => serialize_struct(&item.name, fields),
+        ItemKind::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    body.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => deserialize_struct(&item.name, fields),
+        ItemKind::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    body.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these named fields.
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline derive");
+    }
+
+    match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::Struct(parse_named_fields(g.stream())),
+            },
+            other => panic!(
+                "serde_derive: struct `{name}` must have named fields (offline derive), got {other:?}"
+            ),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        kw => panic!("serde_derive: cannot derive for `{kw} {name}`"),
+    }
+}
+
+/// Consume leading `#[..]` attributes (including doc comments) and any
+/// `pub` / `pub(..)` visibility.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, name: Type, ...` field lists, returning the names.
+/// Types are skipped by walking to the next comma at angle-bracket depth 0
+/// (commas inside parens/brackets/braces are hidden inside `Group` tokens).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        let mut angle_depth = 0usize;
+        loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                toks.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to the trailing comma (also skips `= discriminant`).
+        for tok in toks.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// Count comma-separated fields in a tuple-variant body at angle depth 0.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tok in body {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pairs = String::new();
+    for f in fields {
+        pairs.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{pairs}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!("{f}: ::serde::__get_field(__pairs, \"{f}\")?,"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __pairs = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"struct {name}\", __v))?;\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "Self::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+            )),
+            VariantShape::Tuple(1) => arms.push_str(&format!(
+                "Self::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "Self::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Array(::std::vec![{}]))]),\n",
+                    binds.join(","),
+                    elems.join(",")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binds = fields.join(",");
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "Self::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Object(::std::vec![{}]))]),\n",
+                    pairs.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+            )),
+            VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array for variant {name}::{vn}\", __inner))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                                 \"variant {name}::{vn} expects {n} fields, got {{}}\", __items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self::{vn}({}))\n\
+                     }}\n",
+                    elems.join(",")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__get_field(__fields, \"{f}\")?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for variant {name}::{vn}\", __inner))?;\n\
+                         ::std::result::Result::Ok(Self::{vn} {{ {} }})\n\
+                     }}\n",
+                    inits.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"variant of {name}\", __other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
