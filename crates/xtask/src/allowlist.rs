@@ -1,0 +1,169 @@
+//! The seeded allowlist (`crates/xtask/lint-allowlist.toml`) and the gate
+//! that ratchets it downward.
+//!
+//! One entry tolerates one violation of `lint` in `file` — entries are
+//! line-independent so unrelated edits never invalidate the list. The gate
+//! is a true ratchet: a violation beyond a file's budget fails, and an
+//! entry whose violation no longer exists also fails (it must be deleted,
+//! so the list only ever shrinks). `cargo xtask lint --update-allowlist`
+//! rewrites the file from the current state after a burn-down.
+
+use crate::lints::Violation;
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: key (`"lint:path"`) → tolerated count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    pub budgets: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    pub fn total_entries(&self) -> usize {
+        self.budgets.values().sum()
+    }
+}
+
+/// Parse the TOML-subset allowlist: a single `allow = [ "…", … ]` array of
+/// strings, `#` comments allowed anywhere outside quotes. The restricted
+/// grammar keeps the xtask dependency-free (no TOML crate in the vendored,
+/// air-gapped dependency set).
+pub fn parse(text: &str) -> Result<Allowlist, String> {
+    let mut budgets: BTreeMap<String, usize> = BTreeMap::new();
+    let mut in_array = false;
+    let mut saw_array = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line.as_str();
+        if !in_array {
+            let Some(tail) = rest.strip_prefix("allow") else {
+                return Err(format!("line {}: expected `allow = [`", lineno + 1));
+            };
+            let tail = tail.trim_start();
+            let Some(tail) = tail.strip_prefix('=') else {
+                return Err(format!("line {}: expected `=` after `allow`", lineno + 1));
+            };
+            let tail = tail.trim_start();
+            let Some(tail) = tail.strip_prefix('[') else {
+                return Err(format!("line {}: expected `[`", lineno + 1));
+            };
+            in_array = true;
+            saw_array = true;
+            rest = tail;
+        }
+        for item in rest.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            if item == "]" || item.starts_with(']') {
+                in_array = false;
+                break;
+            }
+            let entry = item
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix(']').map(str::trim_end).or(Some(s)))
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!("line {}: expected quoted entry, got `{item}`", lineno + 1)
+                })?;
+            if !entry.contains(':') {
+                return Err(format!(
+                    "line {}: entry `{entry}` is not of the form `lint:path`",
+                    lineno + 1
+                ));
+            }
+            *budgets.entry(entry.to_string()).or_insert(0) += 1;
+            if item.ends_with(']') {
+                in_array = false;
+            }
+        }
+    }
+    if !saw_array {
+        return Err("no `allow = [ … ]` array found".into());
+    }
+    Ok(Allowlist { budgets })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Render the current violations as a fresh allowlist file, one entry per
+/// site, grouped and sorted for stable diffs.
+pub fn render(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for v in violations {
+        *counts.entry(v.key()).or_insert(0) += 1;
+    }
+    let total: usize = counts.values().sum();
+    let mut out = String::new();
+    out.push_str("# pml-lint allowlist: one entry per tolerated violation site.\n");
+    out.push_str("# Policy: this file only shrinks. New violations fail CI; fixing a site\n");
+    out.push_str("# requires deleting its entry (the gate errors on stale entries too).\n");
+    out.push_str("# Regenerate after a burn-down: cargo xtask lint --update-allowlist\n");
+    out.push_str(&format!("# Entries: {total}\n"));
+    out.push_str("allow = [\n");
+    for (key, n) in &counts {
+        for _ in 0..*n {
+            out.push_str(&format!("    \"{key}\",\n"));
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Gate outcome: what exceeds the budget and what budget is unused.
+#[derive(Debug, Default)]
+pub struct Gate {
+    /// Violations beyond the allowlisted budget, i.e. new regressions.
+    pub new: Vec<Violation>,
+    /// Allowlist keys whose budget exceeds current violations (entry
+    /// count that must be deleted to keep the ratchet honest).
+    pub stale: BTreeMap<String, usize>,
+    /// Violations covered by budget.
+    pub allowed: usize,
+}
+
+impl Gate {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compare found violations against the allowlist.
+pub fn gate(violations: &[Violation], allow: &Allowlist) -> Gate {
+    let mut found: BTreeMap<String, Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        found.entry(v.key()).or_default().push(v);
+    }
+    let mut out = Gate::default();
+    for (key, vs) in &found {
+        let budget = allow.budgets.get(key).copied().unwrap_or(0);
+        out.allowed += vs.len().min(budget);
+        if vs.len() > budget {
+            // More sites than budget: report the trailing ones (the list is
+            // in file order, so later sites are the likelier newcomers).
+            for v in &vs[budget..] {
+                out.new.push((*v).clone());
+            }
+        }
+    }
+    for (key, &budget) in &allow.budgets {
+        let have = found.get(key).map_or(0, |v| v.len());
+        if budget > have {
+            out.stale.insert(key.clone(), budget - have);
+        }
+    }
+    out
+}

@@ -1,0 +1,50 @@
+//! # pml-lint (`cargo xtask`)
+//!
+//! Repo-specific correctness tooling for the PML-MPI workspace: a static
+//! lint pass enforcing invariants clippy cannot express, plus orchestration
+//! for the dynamic-analysis CI lanes (ThreadSanitizer, Miri).
+//!
+//! The three lints (see [`lints`]):
+//!
+//! 1. **forbidden-panic** — no `unwrap`/`expect`/`panic!`/`unreachable!`
+//!    (or `todo!`/`unimplemented!`) in non-test library code. Seeded with a
+//!    checked-in allowlist of current offenders
+//!    (`crates/xtask/lint-allowlist.toml`); the gate is a ratchet that only
+//!    shrinks.
+//! 2. **nondeterminism** — no ambient entropy (`thread_rng`,
+//!    `from_entropy`), wall-clock values (`Instant::now`,
+//!    `SystemTime::now`), or unordered containers (`HashMap`/`HashSet`) in
+//!    dataset generation, ML training, and tuning-table code: identical
+//!    seeds must reproduce identical models and tables byte-for-byte.
+//! 3. **wildcard-algorithm-match** — no `_ =>` arms in collective-
+//!    `Algorithm` dispatch, so adding an algorithm is a compile gate, never
+//!    a silent fallback.
+//!
+//! The pass is a self-contained lexical analyzer ([`mask`] blanks comments,
+//! strings, and test-only code before token scanning) because the vendored,
+//! air-gapped dependency set carries no `syn`/proc-macro stack — and a
+//! dependency-free xtask keeps the tier-1 build fast.
+
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
+pub mod allowlist;
+pub mod lints;
+pub mod mask;
+pub mod walk;
+
+use lints::{LintConfig, Violation};
+use std::path::Path;
+
+/// Lint every workspace source file under `root` with `cfg` scopes.
+pub fn scan_workspace(root: &Path, cfg: &LintConfig) -> Result<Vec<Violation>, String> {
+    let files =
+        walk::workspace_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut out = Vec::new();
+    for (rel, path) in files {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        out.extend(lints::lint_file(&rel, &src, cfg));
+    }
+    Ok(out)
+}

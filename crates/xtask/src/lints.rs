@@ -1,0 +1,334 @@
+//! The three repo-specific lint passes.
+//!
+//! All passes run over masked source (see [`crate::mask`]): comments,
+//! strings, and test-only code are already blanked, so plain token scans
+//! cannot false-positive on prose or fixtures embedded in strings.
+
+use crate::mask::{line_of, mask_source, mask_test_code};
+use std::fmt;
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintKind {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// in non-test library code: measurement and selection must degrade
+    /// through `Result`, not abort a sweep.
+    ForbiddenPanic,
+    /// Ambient entropy or unordered iteration in the dataset / training /
+    /// tuning-table pipeline: identical seeds must reproduce identical
+    /// models and tables byte-for-byte.
+    Nondeterminism,
+    /// A wildcard `_ =>` arm in algorithm dispatch: adding an `Algorithm`
+    /// variant must be a compile error, never a silent fallback.
+    WildcardAlgoMatch,
+}
+
+impl LintKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintKind::ForbiddenPanic => "forbidden-panic",
+            LintKind::Nondeterminism => "nondeterminism",
+            LintKind::WildcardAlgoMatch => "wildcard-algorithm-match",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "forbidden-panic" => Some(LintKind::ForbiddenPanic),
+            "nondeterminism" => Some(LintKind::Nondeterminism),
+            "wildcard-algorithm-match" => Some(LintKind::WildcardAlgoMatch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint hit: where and what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub lint: LintKind,
+    /// Repo-relative path with `/` separators (the allowlist key).
+    pub file: String,
+    pub line: usize,
+    /// The offending token, for the human reading the report.
+    pub what: String,
+}
+
+impl Violation {
+    /// Allowlist key: one entry in `lint-allowlist.toml` tolerates one
+    /// violation of `lint` in `file` (line-independent, so unrelated edits
+    /// never invalidate the list).
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.lint, self.file)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.what
+        )
+    }
+}
+
+/// Scope configuration: which files each path-scoped lint applies to.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path prefixes (repo-relative) where the determinism lint runs.
+    pub determinism_scope: Vec<String>,
+    /// Files where every `match` is algorithm dispatch (the enum registry).
+    pub dispatch_all_matches: Vec<String>,
+    /// Files where a `match` counts as dispatch when its scrutinee
+    /// mentions `algo`/`Algorithm`.
+    pub dispatch_scope: Vec<String>,
+}
+
+impl LintConfig {
+    /// The scopes for this repository.
+    pub fn for_repo() -> Self {
+        LintConfig {
+            determinism_scope: vec![
+                "crates/clusters/src/datagen.rs".into(),
+                "crates/mlcore/src/".into(),
+                "crates/core/src/tuning_table.rs".into(),
+                "crates/core/src/tuner.rs".into(),
+                "crates/core/src/pipeline.rs".into(),
+            ],
+            dispatch_all_matches: vec!["crates/collectives/src/algo.rs".into()],
+            dispatch_scope: vec![
+                "crates/core/src/selectors.rs".into(),
+                "crates/core/src/tuning_table.rs".into(),
+                "crates/core/src/tuner.rs".into(),
+                "crates/collectives/src/measure.rs".into(),
+                "crates/collectives/src/exec/".into(),
+            ],
+        }
+    }
+}
+
+/// Run every lint over one file. `rel` is the repo-relative path.
+pub fn lint_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
+    let masked = mask_test_code(&mask_source(src));
+    let chars: Vec<char> = masked.chars().collect();
+    let mut out = Vec::new();
+    forbidden_panic(rel, &masked, &chars, &mut out);
+    if cfg.determinism_scope.iter().any(|p| rel.starts_with(p)) {
+        nondeterminism(rel, &masked, &chars, &mut out);
+    }
+    let all_matches = cfg.dispatch_all_matches.iter().any(|p| rel == p);
+    if all_matches || cfg.dispatch_scope.iter().any(|p| rel.starts_with(p)) {
+        wildcard_algo_match(rel, &masked, &chars, all_matches, &mut out);
+    }
+    out
+}
+
+/// Iterate identifiers in masked source as (start, end) char ranges.
+fn idents(chars: &[char]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            spans.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn ident_text(chars: &[char], span: (usize, usize)) -> String {
+    chars[span.0..span.1].iter().collect()
+}
+
+fn prev_nonspace(chars: &[char], mut i: usize) -> Option<char> {
+    while i > 0 {
+        i -= 1;
+        if !chars[i].is_whitespace() {
+            return Some(chars[i]);
+        }
+    }
+    None
+}
+
+fn next_nonspace(chars: &[char], mut i: usize) -> Option<char> {
+    while i < chars.len() {
+        if !chars[i].is_whitespace() {
+            return Some(chars[i]);
+        }
+        i += 1;
+    }
+    None
+}
+
+// `debug_assert*` is deliberately absent: it vanishes in release builds,
+// so it can state invariants without creating a production abort path.
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+fn forbidden_panic(rel: &str, masked: &str, chars: &[char], out: &mut Vec<Violation>) {
+    for span in idents(chars) {
+        let name = ident_text(chars, span);
+        let is_macro =
+            PANIC_MACROS.contains(&name.as_str()) && next_nonspace(chars, span.1) == Some('!');
+        let is_method = PANIC_METHODS.contains(&name.as_str())
+            && prev_nonspace(chars, span.0) == Some('.')
+            && next_nonspace(chars, span.1) == Some('(');
+        if is_macro || is_method {
+            out.push(Violation {
+                lint: LintKind::ForbiddenPanic,
+                file: rel.to_string(),
+                line: line_of(masked, span.0),
+                what: if is_macro {
+                    format!("{name}! in library code")
+                } else {
+                    format!(".{name}() in library code")
+                },
+            });
+        }
+    }
+}
+
+const ENTROPY_IDENTS: [&str; 2] = ["thread_rng", "from_entropy"];
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+fn nondeterminism(rel: &str, masked: &str, chars: &[char], out: &mut Vec<Violation>) {
+    let spans = idents(chars);
+    for (k, &span) in spans.iter().enumerate() {
+        let name = ident_text(chars, span);
+        let what = if ENTROPY_IDENTS.contains(&name.as_str()) {
+            Some(format!("{name} (ambient entropy; plumb a seed instead)"))
+        } else if UNORDERED_TYPES.contains(&name.as_str()) {
+            Some(format!(
+                "{name} (unordered iteration; use BTreeMap/BTreeSet)"
+            ))
+        } else if CLOCK_TYPES.contains(&name.as_str())
+            && next_nonspace(chars, span.1) == Some(':')
+            && spans
+                .get(k + 1)
+                .is_some_and(|&s| ident_text(chars, s) == "now")
+        {
+            Some(format!(
+                "{name}::now (wall-clock value in a derived result)"
+            ))
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(Violation {
+                lint: LintKind::Nondeterminism,
+                file: rel.to_string(),
+                line: line_of(masked, span.0),
+                what,
+            });
+        }
+    }
+}
+
+fn wildcard_algo_match(
+    rel: &str,
+    masked: &str,
+    chars: &[char],
+    all_matches: bool,
+    out: &mut Vec<Violation>,
+) {
+    for span in idents(chars) {
+        if ident_text(chars, span) != "match" {
+            continue;
+        }
+        // Scrutinee: text until the body `{` at bracket depth 0.
+        let mut i = span.1;
+        let mut depth = 0i32;
+        let mut scrutinee = String::new();
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => break,
+                _ => {}
+            }
+            scrutinee.push(c);
+            i += 1;
+        }
+        if i >= chars.len() {
+            continue;
+        }
+        let lower = scrutinee.to_lowercase();
+        if !all_matches && !lower.contains("algo") {
+            continue;
+        }
+        scan_arms_for_wildcard(rel, masked, chars, i, out);
+    }
+}
+
+/// Within a match body opening at `open` (a `{`), flag `_` patterns at arm
+/// level: brace depth 1, bracket depth 0, preceded by `{`/`,`/`}`/`|` and
+/// followed by `=>`, `if`, or `|`.
+fn scan_arms_for_wildcard(
+    rel: &str,
+    masked: &str,
+    chars: &[char],
+    open: usize,
+    out: &mut Vec<Violation>,
+) {
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => brace += 1,
+            '}' => {
+                brace -= 1;
+                if brace == 0 {
+                    return;
+                }
+            }
+            '(' | '[' => paren += 1,
+            ')' | ']' => paren -= 1,
+            '_' if brace == 1 && paren == 0 => {
+                let lone = !chars
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                    && !chars
+                        .get(i.wrapping_sub(1))
+                        .is_some_and(|c| c.is_alphanumeric() || *c == '_' || *c == '.');
+                let before = prev_nonspace(chars, i);
+                let after = next_nonspace(chars, i + 1);
+                let arm_head = matches!(before, Some('{') | Some(',') | Some('}') | Some('|'));
+                let arm_body = matches!(after, Some('=') | Some('i') | Some('|'));
+                if lone && arm_head && arm_body {
+                    out.push(Violation {
+                        lint: LintKind::WildcardAlgoMatch,
+                        file: rel.to_string(),
+                        line: line_of(masked, i),
+                        what: "wildcard `_` arm in Algorithm dispatch (make the match exhaustive)"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,209 @@
+//! `cargo xtask` — correctness-tooling entry point.
+//!
+//! ```text
+//! cargo xtask lint                      # run pml-lint against the allowlist
+//! cargo xtask lint --list               # print every current violation
+//! cargo xtask lint --update-allowlist   # rewrite the allowlist after a burn-down
+//! cargo xtask tsan [filter]             # ThreadSanitizer lane (nightly) on the threaded executor
+//! cargo xtask miri [filter]             # Miri lane (nightly) on mlcore + collectives unit tests
+//! ```
+
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+use xtask::lints::LintConfig;
+use xtask::{allowlist, scan_workspace};
+
+const ALLOWLIST_REL: &str = "crates/xtask/lint-allowlist.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("lint");
+    let rest = &args[1.min(args.len())..];
+    let result = match cmd {
+        "lint" => cmd_lint(rest),
+        "tsan" => cmd_tsan(rest),
+        "miri" => cmd_miri(rest),
+        "help" | "--help" | "-h" => {
+            eprintln!("usage: cargo xtask [lint [--list|--update-allowlist] | tsan [filter] | miri [filter]]");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown subcommand `{other}` (try `cargo xtask help`)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root: the manifest dir's grandparent when cargo provides it,
+/// else the nearest ancestor of the cwd that has a `crates/xtask`.
+fn find_root() -> Result<PathBuf, String> {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(&md);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return Ok(root.to_path_buf());
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        if dir.join("crates/xtask").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("could not locate the workspace root (run from inside the repo)".into());
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let list = args.iter().any(|a| a == "--list");
+    let update = args.iter().any(|a| a == "--update-allowlist");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--list" && *a != "--update-allowlist")
+    {
+        return Err(format!("unknown lint flag `{bad}`"));
+    }
+    let root = find_root()?;
+    let violations = scan_workspace(&root, &LintConfig::for_repo())?;
+
+    if list {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("pml-lint: {} violation(s) total", violations.len());
+        return Ok(());
+    }
+
+    let allow_path = root.join(ALLOWLIST_REL);
+    if update {
+        std::fs::write(&allow_path, allowlist::render(&violations))
+            .map_err(|e| format!("writing {}: {e}", allow_path.display()))?;
+        println!(
+            "pml-lint: allowlist rewritten with {} entries",
+            violations.len()
+        );
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&allow_path).map_err(|e| {
+        format!(
+            "reading {} (seed it with --update-allowlist): {e}",
+            allow_path.display()
+        )
+    })?;
+    let allow = allowlist::parse(&text).map_err(|e| format!("{ALLOWLIST_REL}: {e}"))?;
+    let gate = allowlist::gate(&violations, &allow);
+
+    if !gate.new.is_empty() {
+        eprintln!("pml-lint: {} new violation(s):", gate.new.len());
+        for v in &gate.new {
+            eprintln!("  {v}");
+        }
+        eprintln!(
+            "fix them or (exceptionally, with review) add allowlist entries in {ALLOWLIST_REL}"
+        );
+    }
+    if !gate.stale.is_empty() {
+        eprintln!("pml-lint: stale allowlist entries (the ratchet only shrinks — delete them):");
+        for (key, n) in &gate.stale {
+            eprintln!(
+                "  {key} ({n} unused entr{})",
+                if *n == 1 { "y" } else { "ies" }
+            );
+        }
+        eprintln!("run `cargo xtask lint --update-allowlist` to rewrite");
+    }
+    if gate.is_clean() {
+        println!(
+            "pml-lint: clean ({} of {} allowlisted site(s) remaining in the burn-down)",
+            gate.allowed,
+            allow.total_entries()
+        );
+        Ok(())
+    } else {
+        Err("pml-lint gate failed".into())
+    }
+}
+
+/// ThreadSanitizer lane: the threaded executor's test suite under
+/// `-Zsanitizer=thread`. Needs the nightly toolchain + rust-src (sanitizers
+/// instrument std, so the target is rebuilt with `-Zbuild-std`).
+fn cmd_tsan(args: &[String]) -> Result<(), String> {
+    let root = find_root()?;
+    let filter = args.first().map(String::as_str).unwrap_or("threaded");
+    let target = host_target()?;
+    let mut c = Command::new("cargo");
+    c.current_dir(&root)
+        .env("RUSTFLAGS", "-Zsanitizer=thread")
+        // TSan intercepts at libc level; keep one test thread so rank
+        // threads are the only concurrency under test.
+        .env("RUST_TEST_THREADS", "1")
+        .args([
+            "+nightly",
+            "test",
+            "-p",
+            "pml-collectives",
+            "-Zbuild-std",
+            "--target",
+            &target,
+            "--",
+            filter,
+        ]);
+    run(c, "tsan lane")
+}
+
+/// Miri lane: interpreter-checked unit tests for the ML core and the
+/// collectives crate (UB, leaks, and — with weak-memory emulation —
+/// some data-race classes the type system can't rule out in unsafe deps).
+fn cmd_miri(args: &[String]) -> Result<(), String> {
+    let root = find_root()?;
+    let mut base = vec!["+nightly".to_string(), "miri".into(), "test".into()];
+    for p in ["pml-mlcore", "pml-collectives"] {
+        base.push("-p".into());
+        base.push(p.into());
+    }
+    base.push("--lib".into());
+    if let Some(filter) = args.first() {
+        base.push("--".into());
+        base.push(filter.clone());
+    }
+    let mut c = Command::new("cargo");
+    c.current_dir(&root)
+        // Dataset-cache tests touch the filesystem; keep isolation off so
+        // the lane exercises them rather than erroring on `open`.
+        .env("MIRIFLAGS", "-Zmiri-disable-isolation")
+        .args(&base);
+    run(c, "miri lane")
+}
+
+fn host_target() -> Result<String, String> {
+    let out = Command::new("rustc")
+        .args(["-vV"])
+        .output()
+        .map_err(|e| format!("running rustc -vV: {e}"))?;
+    let text = String::from_utf8_lossy(&out.stdout);
+    text.lines()
+        .find_map(|l| l.strip_prefix("host: "))
+        .map(str::to_string)
+        .ok_or_else(|| "rustc -vV did not report a host target".into())
+}
+
+fn run(mut c: Command, what: &str) -> Result<(), String> {
+    let status = c.status().map_err(|e| format!("spawning {what}: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("{what} failed ({status})"))
+    }
+}

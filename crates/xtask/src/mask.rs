@@ -1,0 +1,254 @@
+//! Lexical preprocessing for the lint passes.
+//!
+//! The lints are token scans, not a full parse, so the one thing that must
+//! be airtight is never matching inside a comment, a string, or test-only
+//! code. [`mask_source`] blanks comments and literals to spaces (newlines
+//! survive, so byte offsets map 1:1 to the original and line numbers stay
+//! exact), and [`mask_test_code`] additionally blanks `#[cfg(test)]` /
+//! `#[test]` items.
+
+/// Replace comments, string literals, and char literals with spaces.
+///
+/// Handles line and nested block comments, plain/byte/raw strings
+/// (`"…"`, `b"…"`, `r#"…"#`, `br##"…"##`), char and byte-char literals,
+/// and leaves lifetimes (`'a`) untouched.
+pub fn mask_source(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out: Vec<char> = chars.clone();
+    let mut i = 0;
+
+    // Blank chars[a..b] except newlines.
+    let blank = |out: &mut Vec<char>, a: usize, b: usize| {
+        for c in out.iter_mut().take(b).skip(a) {
+            if *c != '\n' {
+                *c = ' ';
+            }
+        }
+    };
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i.min(n));
+            }
+            'r' | 'b' if is_literal_prefix(&chars, i) => {
+                let start = i;
+                // Skip the prefix letters (`r`, `b`, `br`, `rb`).
+                while i < n && (chars[i] == 'r' || chars[i] == 'b') {
+                    i += 1;
+                }
+                if i < n && chars[i] == '\'' {
+                    // Byte-char literal b'x'.
+                    i = skip_char_literal(&chars, i);
+                    blank(&mut out, start, i.min(n));
+                } else if start + 1 == i && chars[start] == 'b' && i < n && chars[i] == '"' {
+                    // b"…": ordinary escapes apply.
+                    i += 1;
+                    while i < n {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    blank(&mut out, start, i.min(n));
+                } else {
+                    // Raw string: count hashes, no escapes.
+                    let mut hashes = 0usize;
+                    while i < n && chars[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && chars[i] == '"' {
+                        i += 1;
+                        'raw: while i < n {
+                            if chars[i] == '"' {
+                                let mut j = i + 1;
+                                let mut seen = 0usize;
+                                while j < n && chars[j] == '#' && seen < hashes {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                if seen == hashes {
+                                    i = j;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                        blank(&mut out, start, i.min(n));
+                    }
+                }
+            }
+            '\'' => {
+                if let Some(end) = char_literal_end(&chars, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1; // lifetime tick
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Is `chars[i]` the start of an `r"`/`b"`/`br"`/`r#"` literal prefix
+/// (rather than an identifier like `radius`)?
+fn is_literal_prefix(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && (chars[j] == '"' || (chars[j] == '\'' && chars[i] == 'b'))
+}
+
+/// End index (exclusive) of a char literal starting at the `'` at `i`,
+/// or `None` if it is a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if chars[i + 1] == '\\' {
+        let mut j = i + 2;
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        return Some((j + 1).min(n));
+    }
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        return Some(i + 3);
+    }
+    None
+}
+
+fn skip_char_literal(chars: &[char], i: usize) -> usize {
+    char_literal_end(chars, i).unwrap_or(i + 1)
+}
+
+/// Blank out test-only items in already-masked source: any item annotated
+/// `#[test]`, `#[cfg(test)]`, or `#[cfg(all(test…`. The item body is found
+/// by brace matching; attribute-on-statement forms ending in `;` before any
+/// `{` are blanked to the `;`.
+pub fn mask_test_code(masked: &str) -> String {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut out = chars.clone();
+    let text: String = masked.to_string();
+    let mut search = 0usize;
+    let markers = ["#[test]", "#[cfg(test)]", "#[cfg(all(test"];
+    loop {
+        let found = markers
+            .iter()
+            .filter_map(|m| text[char_to_byte(&text, search)..].find(m))
+            .min();
+        let Some(rel) = found else { break };
+        let byte_start = char_to_byte(&text, search) + rel;
+        let start = text[..byte_start].chars().count();
+        // Walk forward to the item's opening `{` or a terminating `;`.
+        let mut i = start;
+        let n = chars.len();
+        let mut end = n;
+        while i < n {
+            match chars[i] {
+                '{' => {
+                    let mut depth = 0usize;
+                    while i < n {
+                        match chars[i] {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    end = i;
+                    break;
+                }
+                ';' => {
+                    end = i + 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        for c in out.iter_mut().take(end).skip(start) {
+            if *c != '\n' {
+                *c = ' ';
+            }
+        }
+        search = end.max(start + 1);
+        if search >= n {
+            break;
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn char_to_byte(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// 1-indexed line of a char offset.
+pub fn line_of(text: &str, char_idx: usize) -> usize {
+    text.chars().take(char_idx).filter(|&c| c == '\n').count() + 1
+}

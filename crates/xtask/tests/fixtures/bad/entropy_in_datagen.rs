@@ -1,0 +1,24 @@
+//! Fixture: ambient state inside determinism-critical code.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+use rand::thread_rng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn sample_cell() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn jitter_seed() -> u64 {
+    // Wall-clock-derived value: unreproducible between runs.
+    Instant::now().elapsed().subsec_nanos() as u64
+}
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,33 @@
+//! Fixture: library code with panic paths the lint must flag.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+pub fn parse_port(s: &str) -> u16 {
+    // A comment saying .unwrap() must NOT count; the call below must.
+    let port: u16 = s.trim().parse().unwrap();
+    assert!(port > 1024, "privileged port");
+    port
+}
+
+pub fn label(kind: u8) -> &'static str {
+    match kind {
+        0 => "control",
+        1 => "data",
+        _ => panic!("unknown kind"),
+    }
+}
+
+pub fn todo_path() {
+    unreachable!("fixture: a forbidden macro, not a string mentioning one");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope: none of these may be reported.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: u16 = "80".parse().unwrap();
+        assert_eq!(v, 80);
+        let s = "panic! in a string is fine";
+        assert!(!s.is_empty());
+    }
+}

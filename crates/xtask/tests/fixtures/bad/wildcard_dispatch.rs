@@ -1,0 +1,25 @@
+//! Fixture: Algorithm dispatch with a silent-fallback wildcard arm.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+pub enum Algorithm {
+    Ring,
+    Bruck,
+}
+
+pub fn cost(algo: &Algorithm, p: u32) -> u32 {
+    match algo {
+        Algorithm::Ring => p - 1,
+        // Adding a variant silently lands here — exactly the bug class
+        // the wildcard-algorithm-match lint exists to prevent.
+        _ => p,
+    }
+}
+
+pub fn arity(n: u32) -> u32 {
+    // A wildcard over a non-Algorithm scrutinee is fine in scrutinee-scoped
+    // files; this one must not be reported there.
+    match n {
+        0 => 0,
+        _ => 1,
+    }
+}

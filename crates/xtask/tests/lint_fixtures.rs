@@ -1,0 +1,209 @@
+//! pml-lint's own test suite: deliberately-bad fixture files the lints
+//! must flag (with exact lines), clean files they must pass, allowlist
+//! ratchet semantics, and the mask layer's corner cases.
+//!
+//! The fixtures under `tests/fixtures/` are plain text to the lint — cargo
+//! never compiles them (only top-level `tests/*.rs` become test binaries),
+//! and the workspace walker skips `tests/` trees, so they cannot leak into
+//! the real gate either.
+
+use std::path::Path;
+use xtask::allowlist::{self, Allowlist};
+use xtask::lints::{lint_file, LintConfig, LintKind, Violation};
+use xtask::mask::{mask_source, mask_test_code};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Scope config mirroring the real one, aimed at the fixture tree.
+fn fixture_config() -> LintConfig {
+    LintConfig {
+        determinism_scope: vec!["bad/entropy_in_datagen.rs".into(), "clean/".into()],
+        dispatch_all_matches: vec![],
+        dispatch_scope: vec!["bad/wildcard_dispatch.rs".into(), "clean/".into()],
+    }
+}
+
+fn kinds(vs: &[Violation]) -> Vec<LintKind> {
+    vs.iter().map(|v| v.lint).collect()
+}
+
+#[test]
+fn flags_stray_unwrap_and_panics_outside_tests() {
+    let rel = "bad/stray_unwrap.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    let lines: Vec<(usize, &str)> = vs.iter().map(|v| (v.line, v.what.as_str())).collect();
+    assert_eq!(
+        kinds(&vs),
+        vec![LintKind::ForbiddenPanic; 4],
+        "expected exactly the four library-code sites, got {vs:?}"
+    );
+    // .unwrap() at its real line; the comment mention above it not counted.
+    assert_eq!(lines[0].0, 6);
+    assert!(lines[0].1.contains("unwrap"));
+    assert_eq!(lines[1].0, 7);
+    assert!(lines[1].1.contains("assert!"));
+    assert!(lines[2].1.contains("panic!"));
+    assert!(lines[3].1.contains("unreachable!"));
+    // Nothing from the #[cfg(test)] module (lines 23+).
+    assert!(vs.iter().all(|v| v.line < 23), "{vs:?}");
+}
+
+#[test]
+fn flags_wildcard_algorithm_arm_but_not_other_scrutinees() {
+    let rel = "bad/wildcard_dispatch.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    // `panic!`-free file: only the wildcard lint fires, only on the
+    // algo-scrutinee match, not on `match n`.
+    assert_eq!(kinds(&vs), vec![LintKind::WildcardAlgoMatch], "{vs:?}");
+    assert_eq!(vs[0].line, 14);
+}
+
+#[test]
+fn flags_entropy_clock_and_unordered_map_in_scope() {
+    let rel = "bad/entropy_in_datagen.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    let nondet: Vec<&Violation> = vs
+        .iter()
+        .filter(|v| v.lint == LintKind::Nondeterminism)
+        .collect();
+    let whats: String = nondet
+        .iter()
+        .map(|v| v.what.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(whats.contains("thread_rng"), "{whats}");
+    assert!(whats.contains("Instant::now"), "{whats}");
+    assert!(whats.contains("HashMap"), "{whats}");
+    // use-declaration + call sites: 2× thread_rng, 2× Instant-ish?, 3× HashMap.
+    assert_eq!(
+        nondet.iter().filter(|v| v.what.contains("HashMap")).count(),
+        3,
+        "{whats}"
+    );
+}
+
+#[test]
+fn out_of_scope_file_skips_path_scoped_lints() {
+    // The same entropy fixture linted under a path with no determinism
+    // scope: only forbidden-panic could fire (and it has none).
+    let vs = lint_file(
+        "elsewhere/entropy.rs",
+        &fixture("bad/entropy_in_datagen.rs"),
+        &fixture_config(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_lint() {
+    let rel = "clean/good_library.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    assert!(vs.is_empty(), "clean fixture flagged: {vs:?}");
+}
+
+#[test]
+fn allowlist_budget_tolerates_then_ratchets() {
+    let rel = "bad/stray_unwrap.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    assert_eq!(vs.len(), 4);
+
+    // Seeded exactly: clean gate.
+    let seeded = allowlist::parse(&allowlist::render(&vs)).expect("render parses");
+    assert_eq!(seeded.total_entries(), 4);
+    let gate = allowlist::gate(&vs, &seeded);
+    assert!(gate.is_clean(), "{gate:?}");
+    assert_eq!(gate.allowed, 4);
+
+    // One budget entry short: the overflow site fails as new.
+    let mut short = seeded.clone();
+    if let Some(n) = short.budgets.values_mut().next() {
+        *n -= 1;
+    }
+    let gate = allowlist::gate(&vs, &short);
+    assert_eq!(gate.new.len(), 1);
+
+    // One fixed site with the entry still present: stale, gate fails.
+    let gate = allowlist::gate(&vs[..3], &seeded);
+    assert!(!gate.is_clean());
+    assert_eq!(gate.stale.values().sum::<usize>(), 1);
+
+    // Unknown violations (empty allowlist): all new.
+    let gate = allowlist::gate(&vs, &Allowlist::default());
+    assert_eq!(gate.new.len(), 4);
+}
+
+#[test]
+fn allowlist_parser_accepts_comments_and_rejects_junk() {
+    let good = "# header\nallow = [\n  \"forbidden-panic:src/a.rs\", # tail comment\n  \"forbidden-panic:src/a.rs\",\n]\n";
+    let parsed = allowlist::parse(good).expect("well-formed allowlist");
+    assert_eq!(
+        parsed.budgets.get("forbidden-panic:src/a.rs").copied(),
+        Some(2)
+    );
+    assert!(allowlist::parse("allow = [ bare-entry ]").is_err());
+    assert!(allowlist::parse("deny = [\"x:y\"]").is_err());
+    assert!(allowlist::parse("allow = [\"no-colon\"]").is_err());
+}
+
+#[test]
+fn mask_blanks_strings_comments_and_test_mods() {
+    let src = r####"
+// has unwrap() in a comment
+/* nested /* block with panic! */ still comment */
+const S: &str = "string .unwrap() call";
+const R: &str = r#"raw panic!"#;
+const C: char = '"';
+fn lib() -> u8 { 1 }
+#[cfg(test)]
+mod tests {
+    fn helper() { Vec::<u8>::new().pop().unwrap(); }
+}
+"####;
+    let masked = mask_test_code(&mask_source(src));
+    assert!(!masked.contains("unwrap"), "{masked}");
+    assert!(!masked.contains("panic"), "{masked}");
+    // Line structure preserved for exact line numbers.
+    assert_eq!(masked.lines().count(), src.lines().count());
+    // Non-test code survives.
+    assert!(masked.contains("fn lib"));
+    assert!(!masked.contains("helper"));
+}
+
+#[test]
+fn mask_handles_lifetimes_and_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let q = '\\''; c }";
+    let masked = mask_source(src);
+    // Lifetimes survive; char literals blanked.
+    assert!(masked.contains("<'a>"), "{masked}");
+    assert!(!masked.contains("'x'"), "{masked}");
+    assert!(masked.ends_with("c }"), "{masked}");
+}
+
+/// The real repo gate end-to-end: the workspace scan matches the
+/// checked-in allowlist exactly (no new violations, no stale entries).
+/// This is the same check CI runs via `cargo xtask lint`.
+#[test]
+fn repo_allowlist_is_exact() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let vs = xtask::scan_workspace(&root, &LintConfig::for_repo()).expect("scan");
+    let text = std::fs::read_to_string(root.join("crates/xtask/lint-allowlist.toml"))
+        .expect("allowlist present");
+    let allow = allowlist::parse(&text).expect("allowlist parses");
+    let gate = allowlist::gate(&vs, &allow);
+    assert!(
+        gate.is_clean(),
+        "repo gate dirty — new: {:#?}, stale: {:?}",
+        gate.new,
+        gate.stale
+    );
+}
