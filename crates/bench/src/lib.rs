@@ -6,6 +6,8 @@
 //! selector-vs-selector runtime comparison loop, and plain-text table
 //! printing that mirrors the paper's rows.
 
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 use pml_clusters::{ClusterEntry, DatagenConfig, TuningRecord};
 use pml_collectives::Collective;
 use pml_core::{AlgorithmSelector, JobConfig, PmlError, PretrainedModel, TrainConfig};
@@ -114,7 +116,9 @@ pub fn cached_model_excluding(
     }
     let model = PretrainedModel::train(&train, collective, &standard_train())?;
     std::fs::create_dir_all(data_dir()).ok();
-    std::fs::write(&path, model.to_json()).ok();
+    if let Ok(json) = model.to_json() {
+        std::fs::write(&path, json).ok();
+    }
     Ok(model)
 }
 

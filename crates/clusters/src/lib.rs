@@ -5,6 +5,8 @@
 //! the over-9000-record tuning dataset, the [`record`] row type, and the paper's
 //! three train/test [`split`] methodologies.
 
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 pub mod cache;
 pub mod datagen;
 pub mod error;

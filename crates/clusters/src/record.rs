@@ -34,12 +34,11 @@ impl TuningRecord {
             .map(|(_, t)| *t)
     }
 
-    /// Runtime of the winner.
+    /// Runtime of the winner. A record with no runtimes (which datagen
+    /// never produces) reads as 0.0 — the same degenerate-cell value
+    /// [`Self::slowdown_of`] already treats as "no meaningful ranking".
     pub fn best_runtime(&self) -> f64 {
-        self.runtimes
-            .first()
-            .map(|(_, t)| *t)
-            .expect("record has runtimes")
+        self.runtimes.first().map(|(_, t)| *t).unwrap_or(0.0)
     }
 
     /// How much slower `algo` is than the winner (1.0 = optimal). `None`

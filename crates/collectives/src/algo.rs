@@ -102,9 +102,15 @@ impl AllgatherAlgo {
         }
     }
 
-    /// Stable class index for ML labels.
+    /// Stable class index for ML labels (the position in [`Self::ALL`];
+    /// `indices_round_trip` pins the two in sync).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|a| *a == self).unwrap()
+        match self {
+            AllgatherAlgo::RecursiveDoubling => 0,
+            AllgatherAlgo::Ring => 1,
+            AllgatherAlgo::Bruck => 2,
+            AllgatherAlgo::NeighborExchange => 3,
+        }
     }
 
     pub fn from_index(i: usize) -> Option<Self> {
@@ -169,9 +175,16 @@ impl AlltoallAlgo {
         }
     }
 
-    /// Stable class index for ML labels.
+    /// Stable class index for ML labels (the position in [`Self::ALL`];
+    /// `indices_round_trip` pins the two in sync).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|a| *a == self).unwrap()
+        match self {
+            AlltoallAlgo::Bruck => 0,
+            AlltoallAlgo::ScatterDest => 1,
+            AlltoallAlgo::Pairwise => 2,
+            AlltoallAlgo::RecursiveDoubling => 3,
+            AlltoallAlgo::Inplace => 4,
+        }
     }
 
     pub fn from_index(i: usize) -> Option<Self> {
@@ -224,8 +237,14 @@ impl BcastAlgo {
         }
     }
 
+    /// Stable class index for ML labels (the position in [`Self::ALL`];
+    /// `indices_round_trip` pins the two in sync).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|a| *a == self).unwrap()
+        match self {
+            BcastAlgo::Binomial => 0,
+            BcastAlgo::ScatterAllgather => 1,
+            BcastAlgo::PipelinedRing => 2,
+        }
     }
 
     pub fn from_index(i: usize) -> Option<Self> {
@@ -278,8 +297,14 @@ impl AllreduceAlgo {
         }
     }
 
+    /// Stable class index for ML labels (the position in [`Self::ALL`];
+    /// `indices_round_trip` pins the two in sync).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|a| *a == self).unwrap()
+        match self {
+            AllreduceAlgo::RecursiveDoubling => 0,
+            AllreduceAlgo::RingReduceScatter => 1,
+            AllreduceAlgo::ReduceBroadcast => 2,
+        }
     }
 
     pub fn from_index(i: usize) -> Option<Self> {

@@ -7,11 +7,13 @@
 //! MPI semantics the schedules are written against and is the correctness
 //! oracle for both the threaded executor and the virtual-time executor.
 
+use crate::exec::ExecError;
 use crate::schedule::{Buf, CommSchedule, Op, Region};
 use std::collections::HashMap;
 
 /// Per-rank buffer state during interpretation.
 struct RankState {
+    rank: u32,
     input: Vec<u8>,
     work: Vec<u8>,
     aux: Vec<u8>,
@@ -31,56 +33,80 @@ impl RankState {
         buf[r.offset..r.end()].to_vec()
     }
 
-    fn write(&mut self, r: &Region, data: &[u8]) {
-        assert_eq!(data.len(), r.len, "payload/region length mismatch");
+    fn write(&mut self, r: &Region, data: &[u8]) -> Result<(), ExecError> {
+        if data.len() != r.len {
+            return Err(ExecError::PayloadMismatch {
+                rank: self.rank,
+                expected: r.len,
+                got: data.len(),
+            });
+        }
         let buf = match r.buf {
-            Buf::Input => panic!("write into read-only input"),
+            Buf::Input => return Err(ExecError::ReadOnlyInputWrite { rank: self.rank }),
             Buf::Work => &mut self.work,
             Buf::Aux => &mut self.aux,
         };
         buf[r.offset..r.offset + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
-    fn combine(&mut self, r: &Region, data: &[u8]) {
-        assert_eq!(data.len(), r.len, "payload/region length mismatch");
+    fn combine(&mut self, r: &Region, data: &[u8]) -> Result<(), ExecError> {
+        if data.len() != r.len {
+            return Err(ExecError::PayloadMismatch {
+                rank: self.rank,
+                expected: r.len,
+                got: data.len(),
+            });
+        }
         let buf = match r.buf {
-            Buf::Input => panic!("combine into read-only input"),
+            Buf::Input => return Err(ExecError::ReadOnlyInputWrite { rank: self.rank }),
             Buf::Work => &mut self.work,
             Buf::Aux => &mut self.aux,
         };
         for (d, s) in buf[r.offset..r.offset + data.len()].iter_mut().zip(data) {
             *d = d.wrapping_add(*s);
         }
+        Ok(())
     }
 }
 
 /// Execute `schedule` with the given per-rank input buffers; returns each
 /// rank's `Work` buffer after completion.
 ///
-/// Panics if the schedule is structurally invalid for the inputs (wrong
-/// buffer sizes) or if execution cannot make progress (which
+/// Fails with an [`ExecError`] if the schedule is structurally invalid for
+/// the inputs (wrong buffer sizes) or if execution cannot make progress
+/// (both of which
 /// [`CommSchedule::validate`](crate::schedule::CommSchedule::validate)
-/// should have ruled out).
+/// would have ruled out).
 #[allow(clippy::needless_range_loop)] // ranks is indexed mutably at several sites
-pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ExecError> {
     let world = schedule.world as usize;
-    assert_eq!(inputs.len(), world, "need one input buffer per rank");
+    if inputs.len() != world {
+        return Err(ExecError::InputCount {
+            expected: world,
+            got: inputs.len(),
+        });
+    }
     for (r, inp) in inputs.iter().enumerate() {
-        assert_eq!(
-            inp.len(),
-            schedule.input_len,
-            "rank {r} input has wrong length"
-        );
+        if inp.len() != schedule.input_len {
+            return Err(ExecError::InputLength {
+                rank: r,
+                expected: schedule.input_len,
+                got: inp.len(),
+            });
+        }
     }
 
     let mut ranks: Vec<RankState> = inputs
         .iter()
-        .map(|inp| {
+        .enumerate()
+        .map(|(r, inp)| {
             let mut work = vec![0u8; schedule.work_len];
             if schedule.work_initialized_from_input {
                 work[..inp.len()].copy_from_slice(inp);
             }
             RankState {
+                rank: r as u32,
                 input: inp.clone(),
                 work,
                 aux: vec![0u8; schedule.aux_len],
@@ -110,11 +136,11 @@ pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
                     match op {
                         Op::Copy { src, dst } => {
                             let data = ranks[rank].read(src);
-                            ranks[rank].write(dst, &data);
+                            ranks[rank].write(dst, &data)?;
                         }
                         Op::Combine { src, dst } => {
                             let data = ranks[rank].read(src);
-                            ranks[rank].combine(dst, &data);
+                            ranks[rank].combine(dst, &data)?;
                         }
                         _ => {}
                     }
@@ -124,10 +150,13 @@ pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
                     if let Op::Send { to, tag, region } = op {
                         let data = ranks[rank].read(region);
                         let key = (rank as u32, *to, *tag);
-                        assert!(
-                            mail.insert(key, data).is_none(),
-                            "duplicate message {key:?}"
-                        );
+                        if mail.insert(key, data).is_some() {
+                            return Err(ExecError::DuplicateMessage {
+                                src: key.0,
+                                dst: key.1,
+                                tag: key.2,
+                            });
+                        }
                     }
                 }
                 ranks[rank].posted = true;
@@ -142,8 +171,13 @@ pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
             if ready {
                 for op in step.iter() {
                     if let Op::Recv { from, tag, region } = op {
-                        let data = mail.remove(&(*from, rank as u32, *tag)).unwrap();
-                        ranks[rank].write(region, &data);
+                        let Some(data) = mail.remove(&(*from, rank as u32, *tag)) else {
+                            // `ready` just saw this key; its absence means the
+                            // mailbox was corrupted, which is a deadlock in
+                            // disguise.
+                            return Err(ExecError::Deadlock);
+                        };
+                        ranks[rank].write(region, &data)?;
                     }
                 }
                 ranks[rank].step += 1;
@@ -154,14 +188,14 @@ pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
         if all_done {
             break;
         }
-        assert!(progressed, "schedule deadlocked: no rank can make progress");
+        if !progressed {
+            return Err(ExecError::Deadlock);
+        }
     }
-    assert!(
-        mail.is_empty(),
-        "unconsumed messages remain: {:?}",
-        mail.keys()
-    );
-    ranks.into_iter().map(|r| r.work).collect()
+    if !mail.is_empty() {
+        return Err(ExecError::UnconsumedMessages { count: mail.len() });
+    }
+    Ok(ranks.into_iter().map(|r| r.work).collect())
 }
 
 /// Helper so the hot loop above can borrow a step's ops without fighting
@@ -195,7 +229,7 @@ mod tests {
         }
         let sch = sb.finish();
         sch.validate().unwrap();
-        let out = run(&sch, &[vec![0xAA; b], vec![0xBB; b]]);
+        let out = run(&sch, &[vec![0xAA; b], vec![0xBB; b]]).unwrap();
         assert_eq!(out[0], [[0xAA; 4], [0xBB; 4]].concat());
         assert_eq!(out[1], [[0xAA; 4], [0xBB; 4]].concat());
     }
@@ -213,7 +247,7 @@ mod tests {
         sb.step(1, |s| s.recv(0, Region::work(0, b)));
         let sch = sb.finish();
         sch.validate().unwrap();
-        let out = run(&sch, &[vec![1; b], vec![2; b]]);
+        let out = run(&sch, &[vec![1; b], vec![2; b]]).unwrap();
         assert_eq!(out[0], vec![2; b]);
         assert_eq!(out[1], vec![1; b]);
     }
@@ -225,17 +259,49 @@ mod tests {
         sb.work_initialized_from_input();
         sb.step(0, |s| s.copy(Region::work(0, 0), Region::work(0, 0))); // dropped, empty program
         let sch = sb.finish();
-        let out = run(&sch, &[vec![7; b]]);
+        let out = run(&sch, &[vec![7; b]]).unwrap();
         assert_eq!(out[0], vec![7; b]);
     }
 
     #[test]
-    #[should_panic(expected = "deadlocked")]
-    fn missing_sender_deadlocks() {
+    fn missing_sender_reports_deadlock() {
         let b = 4;
         let mut sb = ScheduleBuilder::new(2, b, b, b, 0);
         sb.step(1, |s| s.recv(0, Region::work(0, b)));
         let sch = sb.finish(); // invalid, but run() must still detect it
-        run(&sch, &[vec![0; b], vec![0; b]]);
+        let err = run(&sch, &[vec![0; b], vec![0; b]]).unwrap_err();
+        assert_eq!(err, ExecError::Deadlock);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_reported() {
+        let b = 4;
+        let sb = ScheduleBuilder::new(2, b, b, b, 0);
+        let sch = sb.finish();
+        assert_eq!(
+            run(&sch, &[vec![0; b]]).unwrap_err(),
+            ExecError::InputCount {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            run(&sch, &[vec![0; b], vec![0; b + 1]]).unwrap_err(),
+            ExecError::InputLength {
+                rank: 1,
+                expected: b,
+                got: b + 1
+            }
+        );
+    }
+
+    #[test]
+    fn unreceived_message_is_reported() {
+        let b = 4;
+        let mut sb = ScheduleBuilder::new(2, b, b, b, 0);
+        sb.step(0, |s| s.send(1, Region::input(0, b)));
+        let sch = sb.finish(); // invalid: rank 1 never receives
+        let err = run(&sch, &[vec![0; b], vec![0; b]]).unwrap_err();
+        assert_eq!(err, ExecError::UnconsumedMessages { count: 1 });
     }
 }

@@ -29,7 +29,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// FxHash-style multiply-xor hasher: the sim's hot maps are keyed by dense
 /// integer message ids, where SipHash costs more than the rest of the
 /// event loop.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct FxHasher(u64);
 
 impl Hasher for FxHasher {

@@ -6,6 +6,7 @@
 //! parallel and moves real bytes" backend: its results must be bit-identical
 //! to the sequential interpreter, and the test suite checks exactly that.
 
+use crate::exec::ExecError;
 use crate::schedule::{Buf, CommSchedule, Op, Region};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
@@ -37,59 +38,71 @@ impl RankCtx {
         buf[r.offset..r.end()].to_vec()
     }
 
-    fn write(&mut self, r: &Region, data: &[u8]) {
+    fn write(&mut self, r: &Region, data: &[u8]) -> Result<(), ExecError> {
         let buf = match r.buf {
-            Buf::Input => panic!("write into read-only input"),
+            Buf::Input => return Err(ExecError::ReadOnlyInputWrite { rank: self.rank }),
             Buf::Work => &mut self.work,
             Buf::Aux => &mut self.aux,
         };
         buf[r.offset..r.offset + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
-    fn combine(&mut self, r: &Region, data: &[u8]) {
+    fn combine(&mut self, r: &Region, data: &[u8]) -> Result<(), ExecError> {
         let buf = match r.buf {
-            Buf::Input => panic!("combine into read-only input"),
+            Buf::Input => return Err(ExecError::ReadOnlyInputWrite { rank: self.rank }),
             Buf::Work => &mut self.work,
             Buf::Aux => &mut self.aux,
         };
         for (d, s) in buf[r.offset..r.offset + data.len()].iter_mut().zip(data) {
             *d = d.wrapping_add(*s);
         }
+        Ok(())
     }
 
-    fn recv_matching(&mut self, from: u32, tag: u32) -> Vec<u8> {
+    fn recv_matching(&mut self, from: u32, tag: u32) -> Result<Vec<u8>, ExecError> {
         if let Some(payload) = self.unexpected.remove(&(from, tag)) {
-            return payload;
+            return Ok(payload);
         }
         loop {
-            let env = self.inbox.recv().unwrap_or_else(|_| {
-                panic!("rank {}: inbox closed waiting on {from}/{tag}", self.rank)
-            });
+            let Ok(env) = self.inbox.recv() else {
+                // Every sender clone has been dropped: all peers that could
+                // still produce this message have exited.
+                return Err(ExecError::ChannelClosed {
+                    rank: self.rank,
+                    from,
+                    tag,
+                });
+            };
             if env.src == from && env.tag == tag {
-                return env.payload;
+                return Ok(env.payload);
             }
-            let prev = self.unexpected.insert((env.src, env.tag), env.payload);
-            assert!(
-                prev.is_none(),
-                "duplicate message ({}, {})",
-                env.src,
-                env.tag
-            );
+            if self
+                .unexpected
+                .insert((env.src, env.tag), env.payload)
+                .is_some()
+            {
+                return Err(ExecError::DuplicateMessage {
+                    src: env.src,
+                    dst: self.rank,
+                    tag: env.tag,
+                });
+            }
         }
     }
 
-    fn run(mut self, program: &[crate::schedule::Step]) -> Vec<u8> {
+    fn run(mut self, program: &[crate::schedule::Step]) -> Result<Vec<u8>, ExecError> {
         for step in program {
             // Phase 1: copies and reductions, in order.
             for op in &step.ops {
                 match op {
                     Op::Copy { src, dst } => {
                         let data = self.read(src);
-                        self.write(dst, &data);
+                        self.write(dst, &data)?;
                     }
                     Op::Combine { src, dst } => {
                         let data = self.read(src);
-                        self.combine(dst, &data);
+                        self.combine(dst, &data)?;
                     }
                     _ => {}
                 }
@@ -98,40 +111,83 @@ impl RankCtx {
             for op in &step.ops {
                 if let Op::Send { to, tag, region } = op {
                     let payload = self.read(region);
-                    self.peers[*to as usize]
+                    if self.peers[*to as usize]
                         .send(Envelope {
                             src: self.rank,
                             tag: *tag,
                             payload,
                         })
-                        .expect("peer inbox closed");
+                        .is_err()
+                    {
+                        return Err(ExecError::ChannelClosed {
+                            rank: self.rank,
+                            from: self.rank,
+                            tag: *tag,
+                        });
+                    }
                 }
             }
             // Phase 3: wait-all on receives.
             for op in &step.ops {
                 if let Op::Recv { from, tag, region } = op {
-                    let payload = self.recv_matching(*from, *tag);
-                    assert_eq!(payload.len(), region.len, "message size mismatch");
+                    let payload = self.recv_matching(*from, *tag)?;
+                    if payload.len() != region.len {
+                        return Err(ExecError::PayloadMismatch {
+                            rank: self.rank,
+                            expected: region.len,
+                            got: payload.len(),
+                        });
+                    }
                     let r = *region;
-                    self.write(&r, &payload);
+                    self.write(&r, &payload)?;
                 }
             }
         }
-        assert!(
-            self.unexpected.is_empty(),
-            "rank {}: {} unconsumed messages",
-            self.rank,
-            self.unexpected.len()
-        );
-        self.work
+        if !self.unexpected.is_empty() {
+            return Err(ExecError::UnconsumedMessages {
+                count: self.unexpected.len(),
+            });
+        }
+        Ok(self.work)
+    }
+}
+
+/// Render a panic payload (from [`std::thread::JoinHandle::join`]) as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Execute `schedule` with one thread per rank; returns each rank's `Work`
-/// buffer. Panics (propagating the worker's panic) on any schedule error.
-pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+/// buffer.
+///
+/// A rank that panics does not abort the caller: the panic payload is
+/// captured at join and reported as [`ExecError::RankPanicked`] with the
+/// failing rank's id. Schedule errors detected by a rank (bad payload
+/// sizes, writes into the input buffer, closed channels) surface as their
+/// specific [`ExecError`]; the first error in rank order wins.
+pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ExecError> {
     let world = schedule.world as usize;
-    assert_eq!(inputs.len(), world, "need one input buffer per rank");
+    if inputs.len() != world {
+        return Err(ExecError::InputCount {
+            expected: world,
+            got: inputs.len(),
+        });
+    }
+    for (r, inp) in inputs.iter().enumerate() {
+        if inp.len() != schedule.input_len {
+            return Err(ExecError::InputLength {
+                rank: r,
+                expected: schedule.input_len,
+                got: inp.len(),
+            });
+        }
+    }
 
     let mut senders = Vec::with_capacity(world);
     let mut receivers = Vec::with_capacity(world);
@@ -141,7 +197,6 @@ pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
         receivers.push(rx);
     }
 
-    let mut outputs: Vec<Option<Vec<u8>>> = vec![None; world];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(world);
         for (rank, inbox) in receivers.into_iter().enumerate() {
@@ -150,24 +205,48 @@ pub fn run(schedule: &CommSchedule, inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
             if schedule.work_initialized_from_input {
                 work[..input.len()].copy_from_slice(&input);
             }
+            let mut peers = senders.clone();
+            // Self-sends are invalid (validate rejects them), so replace the
+            // rank's own sender with a disconnected one. Without this a rank
+            // holds its own inbox open and a missing-sender schedule would
+            // hang it forever instead of erroring with `ChannelClosed`.
+            peers[rank] = unbounded().0;
             let ctx = RankCtx {
                 rank: rank as u32,
                 input,
                 work,
                 aux: vec![0u8; schedule.aux_len],
                 inbox,
-                peers: senders.clone(),
+                peers,
                 unexpected: HashMap::new(),
             };
             let program = &schedule.ranks[rank];
             handles.push(scope.spawn(move || ctx.run(program)));
         }
         drop(senders);
+        let mut outputs = Vec::with_capacity(world);
+        let mut first_err = None;
         for (rank, h) in handles.into_iter().enumerate() {
-            outputs[rank] = Some(h.join().expect("rank thread panicked"));
+            match h.join() {
+                Ok(Ok(work)) => outputs.push(work),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                    outputs.push(Vec::new());
+                }
+                Err(payload) => {
+                    first_err.get_or_insert(ExecError::RankPanicked {
+                        rank: rank as u32,
+                        message: panic_message(payload.as_ref()),
+                    });
+                    outputs.push(Vec::new());
+                }
+            }
         }
-    });
-    outputs.into_iter().map(Option::unwrap).collect()
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -199,8 +278,8 @@ mod tests {
         let sch = sb.finish();
         sch.validate().unwrap();
         let inputs: Vec<Vec<u8>> = (0..p).map(|r| vec![r as u8 + 1; b]).collect();
-        let threaded = run(&sch, &inputs);
-        let interp = crate::exec::interp::run(&sch, &inputs);
+        let threaded = run(&sch, &inputs).unwrap();
+        let interp = crate::exec::interp::run(&sch, &inputs).unwrap();
         assert_eq!(threaded, interp);
         let expected: Vec<u8> = (0..p).flat_map(|r| vec![r as u8 + 1; b]).collect();
         for out in &threaded {
@@ -225,8 +304,45 @@ mod tests {
         let sch = sb.finish();
         sch.validate().unwrap();
         for _ in 0..50 {
-            let out = run(&sch, &[vec![1; b], vec![2; b], vec![0; b]]);
+            let out = run(&sch, &[vec![1; b], vec![2; b], vec![0; b]]).unwrap();
             assert_eq!(out[2], [[1u8; 4], [2u8; 4]].concat());
+        }
+    }
+
+    #[test]
+    fn rank_panic_is_captured_with_rank_id() {
+        // Rank 1's copy indexes far beyond its work buffer: the rank thread
+        // panics (slice bounds), and run() must report which rank died
+        // instead of propagating the panic.
+        let b = 4;
+        let mut sb = ScheduleBuilder::new(2, b, b, b, 0);
+        sb.step(0, |s| s.copy(Region::input(0, b), Region::work(0, b)));
+        sb.step(1, |s| s.copy(Region::input(0, b), Region::work(1 << 20, b)));
+        let sch = sb.finish(); // invalid on purpose; validate() not called
+        let err = run(&sch, &[vec![1; b], vec![2; b]]).unwrap_err();
+        match err {
+            ExecError::RankPanicked { rank, ref message } => {
+                assert_eq!(rank, 1);
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_sender_reports_closed_channel() {
+        // Rank 1 waits on a message rank 0 never sends. Once rank 0 exits,
+        // every sender to rank 1 is gone and the wait fails cleanly.
+        let b = 4;
+        let mut sb = ScheduleBuilder::new(2, b, b, b, 0);
+        sb.step(1, |s| s.recv(0, Region::work(0, b)));
+        let sch = sb.finish(); // invalid, but run() must still detect it
+        let err = run(&sch, &[vec![0; b], vec![0; b]]).unwrap_err();
+        match err {
+            ExecError::ChannelClosed { rank, from, .. } => {
+                assert_eq!((rank, from), (1, 0));
+            }
+            other => panic!("expected ChannelClosed, got {other:?}"),
         }
     }
 }

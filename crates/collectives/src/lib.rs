@@ -17,6 +17,8 @@
 //! [`mod@measure`] wraps the sim executor into the micro-benchmark API used by
 //! dataset generation, and [`verify`] holds the correctness oracles.
 
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 pub mod algo;
 pub mod allgather;
 pub mod allreduce;

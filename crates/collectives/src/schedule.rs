@@ -304,6 +304,7 @@ impl CommSchedule {
 }
 
 /// Incremental builder that assigns FIFO message tags automatically.
+#[derive(Debug)]
 pub struct ScheduleBuilder {
     schedule: CommSchedule,
     send_seq: HashMap<(u32, u32), u32>,
@@ -359,6 +360,7 @@ impl ScheduleBuilder {
 }
 
 /// Builds one step; obtained through [`ScheduleBuilder::step`].
+#[derive(Debug)]
 pub struct StepBuilder<'a> {
     rank: u32,
     ops: Vec<Op>,

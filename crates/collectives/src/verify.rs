@@ -71,7 +71,8 @@ pub fn check_allgather(schedule: &CommSchedule, block: usize) -> Result<(), Veri
         .validate()
         .map_err(|e| VerifyError(format!("structural: {e}")))?;
     let p = schedule.world;
-    let outputs = interp::run(schedule, &allgather_inputs(p, block));
+    let outputs = interp::run(schedule, &allgather_inputs(p, block))
+        .map_err(|e| VerifyError(format!("execution: {e}")))?;
     let expected = allgather_expected(p, block);
     for (r, out) in outputs.iter().enumerate() {
         if *out != expected {
@@ -126,7 +127,8 @@ pub fn check_bcast(schedule: &CommSchedule, msg: usize) -> Result<(), VerifyErro
         .validate()
         .map_err(|e| VerifyError(format!("structural: {e}")))?;
     let p = schedule.world;
-    let outputs = interp::run(schedule, &bcast_inputs(p, msg));
+    let outputs = interp::run(schedule, &bcast_inputs(p, msg))
+        .map_err(|e| VerifyError(format!("execution: {e}")))?;
     let expected = bcast_expected(msg);
     for (r, out) in outputs.iter().enumerate() {
         if *out != expected {
@@ -146,7 +148,8 @@ pub fn check_allreduce(schedule: &CommSchedule, msg: usize) -> Result<(), Verify
         .validate()
         .map_err(|e| VerifyError(format!("structural: {e}")))?;
     let p = schedule.world;
-    let outputs = interp::run(schedule, &allreduce_inputs(p, msg));
+    let outputs = interp::run(schedule, &allreduce_inputs(p, msg))
+        .map_err(|e| VerifyError(format!("execution: {e}")))?;
     let expected = allreduce_expected(p, msg);
     for (r, out) in outputs.iter().enumerate() {
         if *out != expected {
@@ -166,7 +169,8 @@ pub fn check_alltoall(schedule: &CommSchedule, block: usize) -> Result<(), Verif
         .validate()
         .map_err(|e| VerifyError(format!("structural: {e}")))?;
     let p = schedule.world;
-    let outputs = interp::run(schedule, &alltoall_inputs(p, block));
+    let outputs = interp::run(schedule, &alltoall_inputs(p, block))
+        .map_err(|e| VerifyError(format!("execution: {e}")))?;
     for (r, out) in outputs.iter().enumerate() {
         let expected = alltoall_expected(p, block, r as u32);
         if *out != expected {

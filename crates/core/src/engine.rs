@@ -41,6 +41,7 @@ fn dataset_file(collective: Collective) -> String {
 }
 
 /// Owns the full offline-training + online-inference lifecycle.
+#[derive(Debug)]
 pub struct SelectionEngine {
     clusters: Vec<ClusterEntry>,
     cfg: EngineConfig,

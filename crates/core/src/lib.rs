@@ -17,6 +17,8 @@
 //! * [`tuner`] — the runtime-side facade an MPI library links: memoized
 //!   tuning-table lookups with static-rule fallback.
 
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 pub mod engine;
 pub mod error;
 pub mod features;

@@ -167,8 +167,12 @@ impl PretrainedModel {
             .into_iter()
             .zip(jobs)
             .map(|(class, job)| {
-                let algo = Algorithm::from_index(self.collective, class)
-                    .expect("model predicts a valid class index");
+                // An out-of-range class only happens with a corrupted or
+                // mismatched model artifact; degrade to the library's static
+                // default rules rather than aborting the caller.
+                let algo = Algorithm::from_index(self.collective, class).unwrap_or_else(|| {
+                    crate::selectors::MvapichDefault.select(self.collective, *job)
+                });
                 applicable_or_fallback(algo, job.world_size())
             })
             .collect()
@@ -204,8 +208,8 @@ impl PretrainedModel {
     }
 
     /// Serialize the shipped artifact.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+    pub fn to_json(&self) -> Result<String, PmlError> {
+        Ok(serde_json::to_string(self)?)
     }
 
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
@@ -398,7 +402,7 @@ mod tests {
         e.msg_grid = vec![64, 2048];
         let table = model.generate_tuning_table(&e).unwrap();
         assert_eq!(table.len(), 4);
-        let back = TuningTable::from_json(&table.to_json()).unwrap();
+        let back = TuningTable::from_json(&table.to_json().unwrap()).unwrap();
         assert_eq!(table, back);
     }
 
@@ -414,7 +418,7 @@ mod tests {
             ..Default::default()
         };
         let model = PretrainedModel::train(&recs, Collective::Allgather, &cfg).unwrap();
-        let back = PretrainedModel::from_json(&model.to_json()).unwrap();
+        let back = PretrainedModel::from_json(&model.to_json().unwrap()).unwrap();
         let node = &by_name("Bebop").unwrap().spec.node;
         for logm in [0usize, 8, 16] {
             let job = JobConfig::new(2, 4, 1 << logm);

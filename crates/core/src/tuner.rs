@@ -11,16 +11,26 @@ use crate::error::PmlError;
 use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault};
 use crate::tuning_table::TuningTable;
 use pml_collectives::{Algorithm, Collective};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Memoized decisions plus hit/miss counters, under one lock.
+#[derive(Debug, Default)]
+struct SelectCache {
+    /// (collective, nodes, ppn, msg) → algorithm.
+    map: BTreeMap<(Collective, u32, u32, usize), Algorithm>,
+    hits: u64,
+    misses: u64,
+}
 
 /// Per-process algorithm selection with memoized tuning-table lookups.
+///
+/// Ordered maps throughout: iteration order (e.g. in [`Tuner::covered`] or
+/// any future cache dump) is deterministic, never hash-seed dependent.
+#[derive(Debug)]
 pub struct Tuner {
-    tables: HashMap<Collective, TuningTable>,
-    /// Memoized decisions: (collective, nodes, ppn, msg) → algorithm.
-    cache: Mutex<HashMap<(Collective, u32, u32, usize), Algorithm>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    tables: BTreeMap<Collective, TuningTable>,
+    cache: Mutex<SelectCache>,
 }
 
 impl Tuner {
@@ -30,10 +40,15 @@ impl Tuner {
     pub fn new(tables: impl IntoIterator<Item = TuningTable>) -> Self {
         Tuner {
             tables: tables.into_iter().map(|t| (t.collective, t)).collect(),
-            cache: Mutex::new(HashMap::new()),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            cache: Mutex::new(SelectCache::default()),
         }
+    }
+
+    /// The memo cache, recovering from a poisoned lock: the cache holds
+    /// plain lookup results, so a panic in another thread mid-insert cannot
+    /// leave it semantically inconsistent — worse case is one lost memo.
+    fn cache(&self) -> std::sync::MutexGuard<'_, SelectCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Load every `*.json` tuning table in a directory. Files that fail to
@@ -68,17 +83,21 @@ impl Tuner {
 
     /// (cache hits, cache misses) so far.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock().unwrap(), *self.misses.lock().unwrap())
+        let c = self.cache();
+        (c.hits, c.misses)
     }
 
     /// Pick the algorithm for one collective call.
     pub fn select(&self, collective: Collective, job: JobConfig) -> Algorithm {
         let key = (collective, job.nodes, job.ppn, job.msg_size);
-        if let Some(&a) = self.cache.lock().unwrap().get(&key) {
-            *self.hits.lock().unwrap() += 1;
-            return a;
+        {
+            let mut c = self.cache();
+            if let Some(&a) = c.map.get(&key) {
+                c.hits += 1;
+                return a;
+            }
+            c.misses += 1;
         }
-        *self.misses.lock().unwrap() += 1;
         let chosen = self
             .tables
             .get(&collective)
@@ -86,7 +105,7 @@ impl Tuner {
             .map(|a| applicable_or_fallback(a, job.world_size()))
             .filter(|a| a.supports(job.world_size()))
             .unwrap_or_else(|| MvapichDefault.select(collective, job));
-        self.cache.lock().unwrap().insert(key, chosen);
+        self.cache().map.insert(key, chosen);
         chosen
     }
 }
@@ -156,7 +175,7 @@ mod tests {
     fn directory_loading_roundtrips() {
         let dir = std::env::temp_dir().join(format!("pmltuner-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("aa.json"), table().to_json()).unwrap();
+        std::fs::write(dir.join("aa.json"), table().to_json().unwrap()).unwrap();
         std::fs::write(dir.join("junk.json"), "not json").unwrap();
         let (tuner, warnings) = Tuner::from_dir(&dir).unwrap();
         assert_eq!(tuner.covered(), vec![Collective::Alltoall]);

@@ -195,7 +195,11 @@ impl Classifier for RandomForest {
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        assert!(!self.trees.is_empty(), "predict before fit");
+        debug_assert!(!self.trees.is_empty(), "predict before fit");
+        if self.trees.is_empty() {
+            // Unfit model: uniform distribution, never an abort.
+            return vec![1.0 / self.n_classes.max(1) as f64; self.n_classes];
+        }
         let mut acc = vec![0.0; self.n_classes];
         for t in &self.trees {
             for (a, p) in acc.iter_mut().zip(t.predict_proba_row(row)) {

@@ -170,7 +170,10 @@ impl Classifier for GradientBoosting {
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        assert!(!self.rounds.is_empty(), "predict before fit");
+        // With no boosting rounds the raw scores are the base scores and the
+        // softmax is well-defined, so an unfit model degrades to its prior
+        // instead of aborting.
+        debug_assert!(!self.rounds.is_empty(), "predict before fit");
         softmax(&self.raw_scores(row))
     }
 

@@ -78,7 +78,11 @@ impl Classifier for Knn {
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        let x = self.x.as_ref().expect("predict before fit");
+        debug_assert!(self.x.is_some(), "predict before fit");
+        let Some(x) = self.x.as_ref() else {
+            // Unfit model: uniform distribution, never an abort.
+            return vec![1.0 / self.n_classes.max(1) as f64; self.n_classes];
+        };
         let q = self.standardize(row);
         // Distances to every training point; take the k smallest.
         let mut dist: Vec<(f64, usize)> = (0..x.rows())

@@ -12,6 +12,8 @@
 //! grid search. Every fitted model serializes with serde — that is how the
 //! "pre-trained model shipped with the MPI library" workflow is realized.
 
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 pub mod classifier;
 pub mod dataset;
 pub mod error;

@@ -5,8 +5,11 @@
 use crate::matrix::Matrix;
 
 /// Fraction of exact label matches.
+///
+/// Callers pass equal-length slices (debug builds assert); a missing
+/// prediction counts as a miss, never an abort.
 pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
-    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    debug_assert_eq!(truth.len(), pred.len(), "length mismatch");
     if truth.is_empty() {
         return 0.0;
     }
@@ -15,19 +18,30 @@ pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
 }
 
 /// `confusion[t][p]` = samples of true class t predicted as p.
+///
+/// Callers pass equal-length slices with labels below `n_classes` (debug
+/// builds assert); surplus samples and out-of-range labels are dropped.
 pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
-    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    debug_assert_eq!(truth.len(), pred.len(), "length mismatch");
     let mut m = vec![vec![0usize; n_classes]; n_classes];
     for (&t, &p) in truth.iter().zip(pred) {
-        m[t][p] += 1;
+        debug_assert!(t < n_classes && p < n_classes, "label out of range");
+        if t < n_classes && p < n_classes {
+            m[t][p] += 1;
+        }
     }
     m
 }
 
 /// Binary ROC AUC from scores (probability of the positive class), computed
 /// as the Mann–Whitney U statistic with proper tie handling.
+///
+/// Callers pass equal-length slices (debug builds assert); otherwise the
+/// common prefix is scored.
 pub fn roc_auc_binary(truth: &[bool], scores: &[f64]) -> f64 {
-    assert_eq!(truth.len(), scores.len(), "length mismatch");
+    debug_assert_eq!(truth.len(), scores.len(), "length mismatch");
+    let n = truth.len().min(scores.len());
+    let (truth, scores) = (&truth[..n], &scores[..n]);
     let n_pos = truth.iter().filter(|&&t| t).count();
     let n_neg = truth.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
@@ -60,8 +74,13 @@ pub fn roc_auc_binary(truth: &[bool], scores: &[f64]) -> f64 {
 
 /// Macro-averaged one-vs-rest ROC AUC from a class-probability matrix.
 /// Classes absent from `truth` are skipped (their OvR AUC is undefined).
+///
+/// Callers pass one probability row per sample (debug builds assert);
+/// otherwise the common prefix is scored.
 pub fn macro_ovr_auc(truth: &[usize], proba: &Matrix) -> f64 {
-    assert_eq!(truth.len(), proba.rows(), "one probability row per sample");
+    debug_assert_eq!(truth.len(), proba.rows(), "one probability row per sample");
+    let n = truth.len().min(proba.rows());
+    let truth = &truth[..n];
     let n_classes = proba.cols();
     let mut total = 0.0;
     let mut counted = 0usize;
@@ -70,7 +89,7 @@ pub fn macro_ovr_auc(truth: &[usize], proba: &Matrix) -> f64 {
         if bin.iter().all(|&b| !b) || bin.iter().all(|&b| b) {
             continue;
         }
-        let scores: Vec<f64> = (0..proba.rows()).map(|i| proba.get(i, c)).collect();
+        let scores: Vec<f64> = (0..n).map(|i| proba.get(i, c)).collect();
         total += roc_auc_binary(&bin, &scores);
         counted += 1;
     }

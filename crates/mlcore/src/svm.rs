@@ -133,7 +133,11 @@ impl Classifier for LinearSvm {
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        assert!(!self.w.is_empty(), "predict before fit");
+        debug_assert!(!self.w.is_empty(), "predict before fit");
+        if self.w.is_empty() {
+            // Unfit model: uniform distribution, never an abort.
+            return vec![1.0 / self.n_classes.max(1) as f64; self.n_classes];
+        }
         let z = self.standardize(row);
         // Softmax over margins: a calibrated-ish score good enough for
         // argmax and AUC ranking.

@@ -64,12 +64,13 @@ enum Node {
     },
 }
 
-/// Walk shared by both tree kinds.
-fn descend(nodes: &[Node], row: &[f64]) -> usize {
+/// Walk shared by both tree kinds: follow splits from the root and return
+/// the reached leaf's payload.
+fn descend<'a>(nodes: &'a [Node], row: &[f64]) -> &'a [f64] {
     let mut i = 0usize;
     loop {
         match &nodes[i] {
-            Node::Leaf { .. } => return i,
+            Node::Leaf { value } => return value,
             Node::Split {
                 feature,
                 threshold,
@@ -112,6 +113,10 @@ fn gini(counts: &[f64], total: f64) -> f64 {
 impl DecisionTree {
     /// Fit on `x`/`y`. The RNG drives the per-split feature subsampling
     /// (only relevant when `max_features != All`).
+    ///
+    /// Callers pass one label per row and at least one sample (the public
+    /// path validates through `Dataset::try_new`); on mismatched lengths the
+    /// fit uses the common prefix, and debug builds assert.
     pub fn fit(
         x: &Matrix,
         y: &[usize],
@@ -119,17 +124,17 @@ impl DecisionTree {
         params: &TreeParams,
         rng: &mut StdRng,
     ) -> Self {
-        assert_eq!(x.rows(), y.len(), "one label per row");
-        assert!(n_classes >= 1);
-        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        debug_assert_eq!(x.rows(), y.len(), "one label per row");
+        debug_assert!(n_classes >= 1);
+        debug_assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        let n = x.rows().min(y.len());
         let mut tree = DecisionTree {
             nodes: Vec::new(),
             n_classes,
             raw_importance: vec![0.0; x.cols()],
         };
-        let idx: Vec<usize> = (0..x.rows()).collect();
-        let n_total = x.rows() as f64;
-        tree.grow(x, y, idx, params, rng, 0, n_total);
+        let idx: Vec<usize> = (0..n).collect();
+        tree.grow(x, y, idx, params, rng, 0, n as f64);
         tree
     }
 
@@ -139,8 +144,10 @@ impl DecisionTree {
             dist[y[i]] += 1.0;
         }
         let total: f64 = dist.iter().sum();
-        for d in &mut dist {
-            *d /= total;
+        if total > 0.0 {
+            for d in &mut dist {
+                *d /= total;
+            }
         }
         self.nodes.push(Node::Leaf { value: dist });
         (self.nodes.len() - 1) as u32
@@ -261,10 +268,7 @@ impl DecisionTree {
 
     /// Class-probability vector for one sample.
     pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        match &self.nodes[descend(&self.nodes, row)] {
-            Node::Leaf { value } => value.clone(),
-            Node::Split { .. } => unreachable!("descend stops at leaves"),
-        }
+        descend(&self.nodes, row).to_vec()
     }
 
     pub fn predict_row(&self, row: &[f64]) -> usize {
@@ -300,16 +304,18 @@ pub struct RegressionTree {
 }
 
 impl RegressionTree {
+    /// Fit on `x`/`y`. Same contract as [`DecisionTree::fit`]: mismatched
+    /// lengths fall back to the common prefix, debug builds assert.
     pub fn fit(x: &Matrix, y: &[f64], params: &TreeParams, rng: &mut StdRng) -> Self {
-        assert_eq!(x.rows(), y.len(), "one target per row");
-        assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        debug_assert_eq!(x.rows(), y.len(), "one target per row");
+        debug_assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        let n = x.rows().min(y.len());
         let mut tree = RegressionTree {
             nodes: Vec::new(),
             raw_importance: vec![0.0; x.cols()],
         };
-        let idx: Vec<usize> = (0..x.rows()).collect();
-        let n_total = x.rows() as f64;
-        tree.grow(x, y, idx, params, rng, 0, n_total);
+        let idx: Vec<usize> = (0..n).collect();
+        tree.grow(x, y, idx, params, rng, 0, n as f64);
         tree
     }
 
@@ -408,10 +414,7 @@ impl RegressionTree {
     }
 
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        match &self.nodes[descend(&self.nodes, row)] {
-            Node::Leaf { value } => value[0],
-            Node::Split { .. } => unreachable!("descend stops at leaves"),
-        }
+        descend(&self.nodes, row).first().copied().unwrap_or(0.0)
     }
 
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {

@@ -13,6 +13,8 @@
 //! schedule against this cost model lives in `pml-collectives`; this crate
 //! is purely the machine model.
 
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 pub mod cost;
 pub mod hw;
 pub mod layout;

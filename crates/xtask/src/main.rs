@@ -141,6 +141,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 /// instrument std, so the target is rebuilt with `-Zbuild-std`).
 fn cmd_tsan(args: &[String]) -> Result<(), String> {
     let root = find_root()?;
+    require_nightly_component("rust-src", "tsan")?;
     let filter = args.first().map(String::as_str).unwrap_or("threaded");
     let target = host_target()?;
     let mut c = Command::new("cargo");
@@ -168,6 +169,7 @@ fn cmd_tsan(args: &[String]) -> Result<(), String> {
 /// some data-race classes the type system can't rule out in unsafe deps).
 fn cmd_miri(args: &[String]) -> Result<(), String> {
     let root = find_root()?;
+    require_nightly_component("miri", "miri")?;
     let mut base = vec!["+nightly".to_string(), "miri".into(), "test".into()];
     for p in ["pml-mlcore", "pml-collectives"] {
         base.push("-p".into());
@@ -185,6 +187,25 @@ fn cmd_miri(args: &[String]) -> Result<(), String> {
         .env("MIRIFLAGS", "-Zmiri-disable-isolation")
         .args(&base);
     run(c, "miri lane")
+}
+
+/// Fail fast with an actionable message when a nightly component the lane
+/// depends on is absent (offline dev containers can't download it; the
+/// lanes normally run in CI, which installs components up front).
+fn require_nightly_component(component: &str, lane: &str) -> Result<(), String> {
+    let out = Command::new("rustup")
+        .args(["component", "list", "--toolchain", "nightly", "--installed"])
+        .output()
+        .map_err(|e| format!("running rustup (needed by the {lane} lane): {e}"))?;
+    let listed = String::from_utf8_lossy(&out.stdout);
+    if out.status.success() && listed.lines().any(|l| l.starts_with(component)) {
+        return Ok(());
+    }
+    Err(format!(
+        "the {lane} lane needs the nightly `{component}` component \
+         (rustup component add --toolchain nightly {component}); \
+         it is not installed here — this lane normally runs in CI"
+    ))
 }
 
 fn host_target() -> Result<String, String> {

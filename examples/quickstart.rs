@@ -63,7 +63,7 @@ fn main() -> Result<(), PmlError> {
         "tuning table for Haswell: {} entries; first 120 chars of JSON:",
         table.len()
     );
-    let json = table.to_json();
+    let json = table.to_json()?;
     println!("{}...", &json[..json.len().min(120)]);
     Ok(())
 }

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# The full CI gate, runnable locally: formatting, lints-as-errors, release
-# build, and the test suite. CI (.github/workflows/ci.yml) runs exactly
-# this script, so a clean local run means a green check.
+# The full CI gate, runnable locally: formatting, lints-as-errors, the
+# repo's own static-analysis pass (pml-lint), release build, and the test
+# suite. CI (.github/workflows/ci.yml) runs exactly this script, so a
+# clean local run means a green check.
+#
+# Nightly-only dynamic-analysis lanes are separate (see the workflow):
+#   cargo xtask tsan    # ThreadSanitizer on the threaded executor
+#   cargo xtask miri    # Miri on mlcore + collectives unit tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +15,16 @@ cargo fmt --all --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+if cargo deny --version >/dev/null 2>&1; then
+    echo "==> cargo deny check"
+    cargo deny check bans licenses sources
+else
+    echo "==> cargo deny: not installed, skipping (CI runs it)"
+fi
 
 echo "==> cargo build --release"
 cargo build --release

@@ -279,7 +279,7 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
         eprintln!("out-of-bag accuracy: {:.1}%", oob * 100.0);
     }
     if let Some(path) = opts.get("out") {
-        write_or_print(Some(path), &model.to_json(), "model")?;
+        write_or_print(Some(path), &model.to_json()?, "model")?;
     }
     Ok(())
 }
@@ -396,7 +396,7 @@ fn cmd_table(args: &[String]) -> Result<(), Box<dyn Error>> {
     let table = engine.tuning_table(cluster, coll)?.clone();
     report_warnings(&engine);
     eprintln!("{cluster} {coll}: {} table entries", table.len());
-    write_or_print(opts.get("out"), &table.to_json(), "tuning table")
+    write_or_print(opts.get("out"), &table.to_json()?, "tuning table")
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), Box<dyn Error>> {

@@ -8,7 +8,8 @@ use pml_mpi::{by_name, Collective, JobConfig, PretrainedModel};
 #[test]
 fn model_round_trips_with_identical_predictions() {
     let model = common::mini_model(Collective::Allgather);
-    let back = PretrainedModel::from_json(&model.to_json()).expect("model JSON parses");
+    let json = model.to_json().expect("model serializes");
+    let back = PretrainedModel::from_json(&json).expect("model JSON parses");
     assert_eq!(model, back);
 
     // Identical picks on hardware the model never trained on, across a
@@ -33,7 +34,7 @@ fn model_round_trips_with_identical_predictions() {
 #[test]
 fn engine_install_model_serves_the_artifact() {
     let model = common::mini_model(Collective::Alltoall);
-    let json = model.to_json();
+    let json = model.to_json().expect("model serializes");
 
     let mut engine = common::mini_engine();
     engine.install_model(PretrainedModel::from_json(&json).expect("model JSON parses"));

@@ -14,7 +14,8 @@ fn json_round_trip_is_lossless() {
         .expect("table generates")
         .clone();
     assert!(!table.is_empty());
-    let back = TuningTable::from_json(&table.to_json()).expect("round trip parses");
+    let json = table.to_json().expect("table serializes");
+    let back = TuningTable::from_json(&json).expect("round trip parses");
     assert_eq!(table, back);
 }
 
@@ -65,7 +66,7 @@ fn cross_collective_json_is_rejected() {
         .clone();
     // Flip only the table-level collective; the entries keep their
     // allgather algorithms, so validation must flag the mismatch.
-    let sabotaged = table.to_json().replacen(
+    let sabotaged = table.to_json().expect("table serializes").replacen(
         "\"collective\": \"Allgather\"",
         "\"collective\": \"Alltoall\"",
         1,
