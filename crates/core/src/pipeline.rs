@@ -152,17 +152,15 @@ impl PretrainedModel {
     /// size.
     pub fn predict_batch(&self, node: &NodeSpec, jobs: &[JobConfig]) -> Vec<Algorithm> {
         let full = features::extract_batch(node, jobs);
-        let reduced_rows: Vec<Vec<f64>> = (0..full.rows())
-            .map(|i| {
-                self.selected_features
-                    .iter()
-                    .map(|&j| full.get(i, j))
-                    .collect()
-            })
-            .collect();
-        let classes = self
-            .forest
-            .predict_batch(&pml_mlcore::Matrix::from_rows(reduced_rows));
+        // Project onto the selected features straight into one flat matrix —
+        // no intermediate Vec per row.
+        let mut reduced = pml_mlcore::Matrix::zeros(full.rows(), self.selected_features.len());
+        for i in 0..full.rows() {
+            for (slot, &j) in reduced.row_mut(i).iter_mut().zip(&self.selected_features) {
+                *slot = full.get(i, j);
+            }
+        }
+        let classes = self.forest.predict_batch(&reduced);
         classes
             .into_iter()
             .zip(jobs)

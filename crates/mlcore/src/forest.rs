@@ -1,14 +1,28 @@
 //! Random Forest classifier — the model the paper selects (§V-C), with the
 //! Gini-decrease feature importances behind its Figs. 5–6.
+//!
+//! Training bins the feature matrix once ([`BinnedMatrix`]) and fits every
+//! tree over index slices into it — bootstrap sampling never copies row
+//! data, and each rayon worker reuses one [`TreeScratch`] across all the
+//! trees it grows. The original sort-based trainer stays available behind
+//! [`SplitFinder::Exact`] as the reference implementation.
 
+use crate::binned::{BinnedMatrix, SplitFinder};
 use crate::classifier::Classifier;
 use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
-use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeParams};
+use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeParams, TreeScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Rows per parallel work unit in the batched inference kernels, and trees
+/// per work unit in the OOB pass. Fixed (not derived from thread count) so
+/// floating-point accumulation order — and therefore every serialized
+/// artifact — is identical on any machine.
+const BLOCK: usize = 64;
+const OOB_CHUNK: usize = 8;
 
 /// Random Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,6 +35,9 @@ pub struct ForestParams {
     /// Bootstrap-sample each tree's training set.
     pub bootstrap: bool,
     pub seed: u64,
+    /// Split-finding kernel. Artifacts serialized before this field existed
+    /// deserialize to the default (histogram).
+    pub split_finder: SplitFinder,
 }
 
 impl Default for ForestParams {
@@ -33,6 +50,7 @@ impl Default for ForestParams {
             max_features: MaxFeatures::Sqrt,
             bootstrap: true,
             seed: 0,
+            split_finder: SplitFinder::default(),
         }
     }
 }
@@ -83,31 +101,83 @@ impl RandomForest {
         normalize(acc)
     }
 
-    /// Class-probability matrix for a whole batch of rows, trees × rows
-    /// fanned out over rayon. This is the inference hot path: tuning-table
-    /// generation and the ML selector push entire job grids through here
-    /// instead of calling [`Classifier::predict_proba_row`] per cell.
-    pub fn predict_proba_batch(&self, x: &Matrix) -> Matrix {
+    /// Average the ensemble's class probabilities for one row into `out`
+    /// (length `n_classes`) without allocating: every tree contributes a
+    /// borrowed leaf slice, nothing is cloned.
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
         debug_assert!(!self.trees.is_empty(), "predict before fit");
-        let rows: Vec<usize> = (0..x.rows()).collect();
-        let probs: Vec<Vec<f64>> = rows
-            .par_iter()
-            .map(|&i| self.predict_proba_row(x.row(i)))
-            .collect();
-        let mut out = Matrix::zeros(x.rows(), self.n_classes);
-        for (i, p) in probs.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(p);
+        if self.trees.is_empty() {
+            // Unfit model: uniform distribution, never an abort.
+            out.fill(1.0 / self.n_classes.max(1) as f64);
+            return;
         }
+        out.fill(0.0);
+        for t in &self.trees {
+            for (a, p) in out.iter_mut().zip(t.predict_proba_slice(row)) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in out.iter_mut() {
+            *a /= k;
+        }
+    }
+
+    /// Class-probability matrix for a whole batch of rows, written into a
+    /// caller-provided matrix of shape `x.rows() × n_classes`. Workers fill
+    /// disjoint row blocks of the output buffer directly — the inner loop
+    /// performs no allocation at all. This is the inference hot path:
+    /// tuning-table generation and the ML selector push entire job grids
+    /// through here instead of calling [`Classifier::predict_proba_row`]
+    /// per cell.
+    pub fn predict_proba_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        let k = self.n_classes.max(1);
+        debug_assert_eq!(out.rows(), x.rows());
+        debug_assert_eq!(out.cols(), k);
+        if x.rows() == 0 {
+            return;
+        }
+        out.as_mut_slice()
+            .par_chunks_mut(BLOCK * k)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                let base = blk * BLOCK;
+                for (j, orow) in chunk.chunks_mut(k).enumerate() {
+                    self.predict_proba_into(x.row(base + j), orow);
+                }
+            });
+    }
+
+    /// Class-probability matrix for a whole batch of rows.
+    pub fn predict_proba_batch(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_classes.max(1));
+        self.predict_proba_batch_into(x, &mut out);
         out
     }
 
-    /// Hard predictions for a whole batch of rows, in parallel.
+    /// Hard predictions for a whole batch of rows, in parallel. Each worker
+    /// reuses one probability buffer across its rows.
     pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
         debug_assert!(!self.trees.is_empty(), "predict before fit");
-        let rows: Vec<usize> = (0..x.rows()).collect();
-        rows.par_iter()
-            .map(|&i| argmax(&self.predict_proba_row(x.row(i))))
-            .collect()
+        let k = self.n_classes.max(1);
+        let n = x.rows();
+        let blocks: Vec<usize> = (0..n.div_ceil(BLOCK)).collect();
+        let nested: Vec<Vec<usize>> = blocks
+            .into_par_iter()
+            .map_init(
+                || vec![0.0f64; k],
+                |buf, blk| {
+                    let base = blk * BLOCK;
+                    (base..(base + BLOCK).min(n))
+                        .map(|i| {
+                            self.predict_proba_into(x.row(i), buf);
+                            argmax(buf)
+                        })
+                        .collect()
+                },
+            )
+            .collect();
+        nested.into_iter().flatten().collect()
     }
 }
 
@@ -118,6 +188,12 @@ impl Classifier for RandomForest {
             return Err(MlError::InvalidParam {
                 param: "n_estimators",
                 why: "need at least one tree".into(),
+            });
+        }
+        if x.cols() >= u16::MAX as usize {
+            return Err(MlError::InvalidParam {
+                param: "n_features",
+                why: format!("{} features exceed the u16 tree layout", x.cols()),
             });
         }
         self.n_classes = n_classes;
@@ -138,41 +214,97 @@ impl Classifier for RandomForest {
         };
 
         let bootstrap = self.params.bootstrap;
-        let fitted: Vec<(DecisionTree, Vec<usize>)> = seeds
-            .par_iter()
-            .map(|&seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let sample: Vec<usize> = if bootstrap {
-                    (0..n).map(|_| rng.gen_range(0..n)).collect()
-                } else {
-                    (0..n).collect()
-                };
-                let xs = x.select_rows(&sample);
-                let ys: Vec<usize> = sample.iter().map(|&i| y[i]).collect();
-                (
-                    DecisionTree::fit(&xs, &ys, n_classes, &tree_params, &mut rng),
-                    sample,
-                )
-            })
-            .collect();
+        // Both kernels draw the bootstrap sample identically (`usize` range
+        // keeps the RNG stream aligned with the exact path, and with models
+        // trained before the histogram kernel existed).
+        let draw_sample = |rng: &mut StdRng| -> Vec<u32> {
+            if bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+            } else {
+                (0..n as u32).collect()
+            }
+        };
+
+        let fitted: Vec<(DecisionTree, Vec<u32>)> = match self.params.split_finder {
+            SplitFinder::Hist { max_bins } => {
+                // Bin once; every tree trains over index slices into the
+                // shared binned matrix — no per-tree row materialization.
+                let binned = BinnedMatrix::from_matrix(x, max_bins);
+                seeds
+                    .par_iter()
+                    .map_init(TreeScratch::default, |scratch, &seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let sample = draw_sample(&mut rng);
+                        let tree = DecisionTree::fit_binned(
+                            &binned,
+                            y,
+                            &sample,
+                            n_classes,
+                            &tree_params,
+                            &mut rng,
+                            scratch,
+                        );
+                        (tree, sample)
+                    })
+                    .collect()
+            }
+            SplitFinder::Exact => seeds
+                .par_iter()
+                .map(|&seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let sample = draw_sample(&mut rng);
+                    let idx: Vec<usize> = sample.iter().map(|&i| i as usize).collect();
+                    let xs = x.select_rows(&idx);
+                    let ys: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                    (
+                        DecisionTree::fit(&xs, &ys, n_classes, &tree_params, &mut rng),
+                        sample,
+                    )
+                })
+                .collect(),
+        };
 
         // OOB score: vote each sample with the trees that never saw it.
+        // Fixed-size tree chunks fan out over rayon (one in-bag buffer per
+        // worker); partial votes merge back in chunk order so the float
+        // summation order never depends on thread count.
         self.oob_score = if bootstrap {
-            let mut votes = vec![vec![0.0f64; n_classes]; n];
-            let mut any = vec![false; n];
-            for (tree, sample) in &fitted {
-                let mut in_bag = vec![false; n];
-                for &i in sample {
-                    in_bag[i] = true;
-                }
-                for i in 0..n {
-                    if !in_bag[i] {
-                        let p = tree.predict_proba_row(x.row(i));
-                        for (v, pi) in votes[i].iter_mut().zip(&p) {
-                            *v += pi;
+            let chunks: Vec<&[(DecisionTree, Vec<u32>)]> = fitted.chunks(OOB_CHUNK).collect();
+            let partials: Vec<(Vec<f64>, Vec<bool>)> = chunks
+                .par_iter()
+                .map_init(
+                    || vec![false; n],
+                    |in_bag, chunk| {
+                        let mut votes = vec![0.0f64; n * n_classes];
+                        let mut any = vec![false; n];
+                        for (tree, sample) in chunk.iter() {
+                            in_bag.fill(false);
+                            for &i in sample {
+                                in_bag[i as usize] = true;
+                            }
+                            for (i, bagged) in in_bag.iter().enumerate() {
+                                if !bagged {
+                                    let p = tree.predict_proba_slice(x.row(i));
+                                    let v = &mut votes[i * n_classes..(i + 1) * n_classes];
+                                    for (vi, pi) in v.iter_mut().zip(p) {
+                                        *vi += pi;
+                                    }
+                                    any[i] = true;
+                                }
+                            }
                         }
-                        any[i] = true;
-                    }
+                        (votes, any)
+                    },
+                )
+                .collect();
+            let mut votes = vec![0.0f64; n * n_classes];
+            let mut any = vec![false; n];
+            for (pv, pa) in &partials {
+                for (v, p) in votes.iter_mut().zip(pv) {
+                    *v += p;
+                }
+                for (a, p) in any.iter_mut().zip(pa) {
+                    *a |= p;
                 }
             }
             let mut correct = 0usize;
@@ -180,7 +312,7 @@ impl Classifier for RandomForest {
             for i in 0..n {
                 if any[i] {
                     counted += 1;
-                    if crate::tree::argmax(&votes[i]) == y[i] {
+                    if argmax(&votes[i * n_classes..(i + 1) * n_classes]) == y[i] {
                         correct += 1;
                     }
                 }
@@ -195,22 +327,19 @@ impl Classifier for RandomForest {
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        debug_assert!(!self.trees.is_empty(), "predict before fit");
-        if self.trees.is_empty() {
-            // Unfit model: uniform distribution, never an abort.
-            return vec![1.0 / self.n_classes.max(1) as f64; self.n_classes];
-        }
-        let mut acc = vec![0.0; self.n_classes];
-        for t in &self.trees {
-            for (a, p) in acc.iter_mut().zip(t.predict_proba_row(row)) {
-                *a += p;
-            }
-        }
-        let k = self.trees.len() as f64;
-        for a in &mut acc {
-            *a /= k;
-        }
-        acc
+        let mut out = vec![0.0; self.n_classes.max(1)];
+        self.predict_proba_into(row, &mut out);
+        out
+    }
+
+    /// Batched override of the default per-row loop.
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.predict_proba_batch(x)
+    }
+
+    /// Batched override of the default per-row loop.
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_batch(x)
     }
 
     fn n_classes(&self) -> usize {
@@ -319,12 +448,77 @@ mod tests {
             ..Default::default()
         });
         f.fit(&x, &y, 2).unwrap();
-        assert_eq!(f.predict_batch(&x), f.predict(&x));
+        let per_row: Vec<usize> = (0..x.rows())
+            .map(|i| argmax(&f.predict_proba_row(x.row(i))))
+            .collect();
+        assert_eq!(f.predict_batch(&x), per_row);
         let batched = f.predict_proba_batch(&x);
-        let serial = f.predict_proba(&x);
         for i in 0..x.rows() {
-            assert_eq!(batched.row(i), serial.row(i));
+            assert_eq!(batched.row(i), f.predict_proba_row(x.row(i)));
         }
+    }
+
+    #[test]
+    fn proba_into_matches_allocating_variant() {
+        let (x, y) = noisy_data(50, 11);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 8,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2).unwrap();
+        let mut buf = [0.0f64; 2];
+        for i in 0..x.rows() {
+            f.predict_proba_into(x.row(i), &mut buf);
+            assert_eq!(buf.to_vec(), f.predict_proba_row(x.row(i)));
+        }
+        let mut out = Matrix::zeros(x.rows(), 2);
+        f.predict_proba_batch_into(&x, &mut out);
+        assert_eq!(out, f.predict_proba_batch(&x));
+    }
+
+    /// Forest-level pin of the tentpole equivalence: on data where binning
+    /// is lossless (distinct values per column ≤ 256), the histogram and
+    /// exact kernels — fed the same seed — grow forests with identical
+    /// train-set predictions and importances. Bootstrap is off because the
+    /// guarantee covers each tree's own training rows: an out-of-bag row
+    /// can legitimately fall between a sample-midpoint threshold (exact)
+    /// and the full-data bin edge (hist).
+    #[test]
+    fn hist_and_exact_forests_agree_when_binning_is_lossless() {
+        let (x, y) = noisy_data(120, 13);
+        let fit = |split_finder: SplitFinder| {
+            let mut f = RandomForest::new(ForestParams {
+                n_estimators: 12,
+                seed: 21,
+                bootstrap: false,
+                split_finder,
+                ..Default::default()
+            });
+            f.fit(&x, &y, 2).unwrap();
+            f
+        };
+        let hist = fit(SplitFinder::default());
+        let exact = fit(SplitFinder::Exact);
+        assert_eq!(hist.predict_batch(&x), exact.predict_batch(&x));
+        for (h, e) in hist
+            .feature_importances()
+            .iter()
+            .zip(exact.feature_importances())
+        {
+            assert!((h - e).abs() < 1e-9, "importances diverge: {h} vs {e}");
+        }
+    }
+
+    #[test]
+    fn params_without_split_finder_field_deserialize_to_default() {
+        // A ForestParams artifact serialized before the split_finder knob
+        // existed.
+        let json = r#"{"n_estimators":15,"max_depth":null,"min_samples_split":2,
+                       "min_samples_leaf":1,"max_features":"Sqrt","bootstrap":true,
+                       "seed":3}"#;
+        let p: ForestParams = serde_json::from_str(json).unwrap();
+        assert_eq!(p.split_finder, SplitFinder::default());
+        assert_eq!(p.n_estimators, 15);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Multinomial Gradient Boosting (Friedman's GBM with softmax loss),
 //! regression trees on the per-class negative gradient.
 
+use crate::binned::BinnedMatrix;
 use crate::classifier::Classifier;
 use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
-use crate::tree::{MaxFeatures, RegressionTree, TreeParams};
+use crate::tree::{MaxFeatures, RegressionTree, TreeParams, TreeScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -126,6 +127,13 @@ impl Classifier for GradientBoosting {
             max_features: MaxFeatures::All,
         };
 
+        // Bin the features once; every boosting round's trees train over
+        // index slices into the shared binned matrix (no per-round row
+        // materialization), reusing one scratch and gradient buffer.
+        let binned = BinnedMatrix::from_matrix(x, 256);
+        let mut scratch = TreeScratch::default();
+        let mut grad = vec![0.0f64; n];
+
         // Current raw scores per (sample, class).
         let mut f: Vec<Vec<f64>> = (0..n).map(|_| self.base_score.clone()).collect();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
@@ -133,29 +141,34 @@ impl Classifier for GradientBoosting {
 
         for _ in 0..self.params.n_estimators {
             // Stochastic row subsample for this round.
-            let sample: Vec<usize> = if self.params.subsample < 1.0 {
+            let sample: Vec<u32> = if self.params.subsample < 1.0 {
                 use rand::seq::SliceRandom;
                 let k = ((n as f64) * self.params.subsample).ceil() as usize;
                 let mut all: Vec<usize> = (0..n).collect();
                 all.shuffle(&mut rng);
                 all.truncate(k.max(1));
-                all
+                all.into_iter().map(|i| i as u32).collect()
             } else {
-                (0..n).collect()
+                (0..n as u32).collect()
             };
-            let xs = x.select_rows(&sample);
 
             let mut trees = Vec::with_capacity(n_classes);
             for c in 0..n_classes {
-                // Negative gradient of softmax cross-entropy: y_ic − p_ic.
-                let grad: Vec<f64> = sample
-                    .iter()
-                    .map(|&i| {
-                        let p = softmax(&f[i]);
-                        (if y[i] == c { 1.0 } else { 0.0 }) - p[c]
-                    })
-                    .collect();
-                let tree = RegressionTree::fit(&xs, &grad, &tree_params, &mut rng);
+                // Negative gradient of softmax cross-entropy: y_ic − p_ic,
+                // written at the original row ids the index slice refers to.
+                for &i in &sample {
+                    let i = i as usize;
+                    let p = softmax(&f[i]);
+                    grad[i] = (if y[i] == c { 1.0 } else { 0.0 }) - p[c];
+                }
+                let tree = RegressionTree::fit_binned(
+                    &binned,
+                    &grad,
+                    &sample,
+                    &tree_params,
+                    &mut rng,
+                    &mut scratch,
+                );
                 trees.push(tree);
             }
             // Update scores on all samples.

@@ -14,6 +14,7 @@
 
 #![deny(rust_2018_idioms, missing_debug_implementations)]
 #![deny(clippy::dbg_macro, clippy::todo)]
+pub mod binned;
 pub mod classifier;
 pub mod dataset;
 pub mod error;
@@ -26,6 +27,7 @@ pub mod model_selection;
 pub mod svm;
 pub mod tree;
 
+pub use binned::{BinnedMatrix, SplitFinder};
 pub use classifier::Classifier;
 pub use dataset::Dataset;
 pub use error::MlError;
@@ -34,4 +36,4 @@ pub use gboost::{GBoostParams, GradientBoosting};
 pub use knn::{Knn, KnnParams};
 pub use matrix::Matrix;
 pub use svm::{LinearSvm, SvmParams};
-pub use tree::{DecisionTree, MaxFeatures, RegressionTree, TreeParams};
+pub use tree::{DecisionTree, MaxFeatures, RegressionTree, TreeParams, TreeScratch};

@@ -98,6 +98,17 @@ impl Matrix {
         }
     }
 
+    /// The whole row-major backing buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing buffer, for kernels that fill
+    /// disjoint row blocks in parallel.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Iterator over row views.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1)).take(self.rows)

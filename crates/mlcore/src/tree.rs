@@ -1,11 +1,22 @@
 //! CART decision trees: a Gini classification tree (the building block of
 //! the Random Forest) and an MSE regression tree (the weak learner inside
 //! Gradient Boosting).
+//!
+//! Both tree kinds share a flattened struct-of-arrays node store
+//! ([`TreeNodes`]) — parallel `feature`/`threshold`/`children` arrays plus
+//! one contiguous leaf-payload arena — so descent touches three small hot
+//! arrays instead of chasing an enum per node, and prediction never
+//! allocates. Growth comes in two kernels: the original exact sort-based
+//! search, and a histogram kernel over a [`BinnedMatrix`] that scores every
+//! candidate split of a feature from one O(n) counting pass. On lossless
+//! binnings the two kernels choose identical splits (see the equivalence
+//! tests at the bottom of this file).
 
+use crate::binned::BinnedMatrix;
 use crate::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How many candidate features each split considers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,40 +62,221 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
-    /// Class-probability leaf (classification) or mean-value leaf
-    /// (regression, stored as a 1-element vector).
-    Leaf { value: Vec<f64> },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: u32,
-        right: u32,
-    },
+/// Sentinel in the `feature` array marking a leaf node.
+const LEAF: u16 = u16::MAX;
+
+/// Struct-of-arrays node storage shared by both tree kinds.
+///
+/// Node `i` is a split when `feature[i] != LEAF`: its children are
+/// `children[2i]` (left, `row[feature] <= threshold`) and
+/// `children[2i + 1]` (right). A leaf stores the offset of its payload in
+/// the `leaf_values` arena in `children[2i]`; the payload length is fixed
+/// per tree kind (`n_classes` probabilities, or one mean).
+#[derive(Debug, Clone, PartialEq, Default)]
+struct TreeNodes {
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    children: Vec<u32>,
+    leaf_values: Vec<f64>,
 }
 
-/// Walk shared by both tree kinds: follow splits from the root and return
-/// the reached leaf's payload.
-fn descend<'a>(nodes: &'a [Node], row: &[f64]) -> &'a [f64] {
-    let mut i = 0usize;
-    loop {
-        match &nodes[i] {
-            Node::Leaf { value } => return value,
-            Node::Split {
-                feature,
-                threshold,
-                left,
-                right,
-            } => {
-                i = if row[*feature] <= *threshold {
-                    *left as usize
-                } else {
-                    *right as usize
-                };
+impl TreeNodes {
+    fn len(&self) -> usize {
+        self.feature.len()
+    }
+
+    fn push_leaf(&mut self, values: &[f64]) -> u32 {
+        let off = self.leaf_values.len() as u32;
+        self.leaf_values.extend_from_slice(values);
+        self.feature.push(LEAF);
+        self.threshold.push(0.0);
+        self.children.extend([off, 0]);
+        (self.feature.len() - 1) as u32
+    }
+
+    /// Reserve a node slot before growing its children (the recursion
+    /// numbers nodes pre-order, so the slot must exist first).
+    fn push_placeholder(&mut self) -> u32 {
+        self.feature.push(LEAF);
+        self.threshold.push(0.0);
+        self.children.extend([0, 0]);
+        (self.feature.len() - 1) as u32
+    }
+
+    fn set_split(&mut self, i: u32, feature: u16, threshold: f64, left: u32, right: u32) {
+        let i = i as usize;
+        self.feature[i] = feature;
+        self.threshold[i] = threshold;
+        self.children[2 * i] = left;
+        self.children[2 * i + 1] = right;
+    }
+
+    /// Walk from the root and return the reached leaf's payload slice.
+    #[inline]
+    fn descend(&self, row: &[f64], leaf_len: usize) -> &[f64] {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                let off = self.children[2 * i] as usize;
+                return &self.leaf_values[off..off + leaf_len];
+            }
+            let go_right = row[f as usize] > self.threshold[i];
+            i = self.children[2 * i + usize::from(go_right)] as usize;
+        }
+    }
+
+    fn depth_from(&self, i: usize) -> usize {
+        if self.feature[i] == LEAF {
+            0
+        } else {
+            let l = self.depth_from(self.children[2 * i] as usize);
+            let r = self.depth_from(self.children[2 * i + 1] as usize);
+            1 + l.max(r)
+        }
+    }
+}
+
+/// Reusable per-worker buffers for binned tree growth, so a rayon worker
+/// fitting many trees allocates its index/partition/histogram storage once.
+#[derive(Debug, Default)]
+pub struct TreeScratch {
+    /// Row indices of the tree being grown, recursively partitioned in
+    /// place — each node owns a `[lo, hi)` window of this buffer.
+    rows: Vec<u32>,
+    /// Spill buffer for the right half during a stable in-place partition.
+    part: Vec<u32>,
+    /// Per-(bin, class) counts (classification) or per-bin
+    /// (count, sum, sum²) stats (regression), wiped per feature pass —
+    /// the bin budget keeps it small enough that a plain fill beats any
+    /// touched-slot bookkeeping on this project's low-cardinality features.
+    hist: Vec<f64>,
+    /// Candidate feature indices for the current node.
+    feats: Vec<usize>,
+    /// Node-local gather of the labels (classification) or targets
+    /// (regression), aligned with the node's `rows` window so every
+    /// histogram pass streams them sequentially instead of re-reading `y`
+    /// at random — one gather pays for `max_features` histogram passes.
+    labels: Vec<u32>,
+    yvals: Vec<f64>,
+    /// Per-class accumulators for the node being scanned (class counts and
+    /// the left/right sides of the candidate boundary) — only live between
+    /// a node's entry and its recursion, so one set serves the whole tree.
+    counts: Vec<f64>,
+    left: Vec<f64>,
+    right: Vec<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: versioned, hand-rolled
+//
+// v2 (written by this code) stores the SoA arrays directly. v1 — the layout
+// before the flattening — stored an externally tagged `Node` enum per
+// element under a "nodes" key; `migrate_v1` rebuilds it index for index, so
+// artifacts serialized by older builds keep their exact topology and
+// predictions.
+// ---------------------------------------------------------------------------
+
+fn nodes_to_pairs(nodes: &TreeNodes) -> Vec<(String, Value)> {
+    vec![
+        ("version".to_string(), Value::UInt(2)),
+        ("feature".to_string(), nodes.feature.to_value()),
+        ("threshold".to_string(), nodes.threshold.to_value()),
+        ("children".to_string(), nodes.children.to_value()),
+        ("leaf_values".to_string(), nodes.leaf_values.to_value()),
+    ]
+}
+
+fn nodes_from_pairs(pairs: &[(String, Value)], leaf_len: usize) -> Result<TreeNodes, DeError> {
+    let nodes = if pairs.iter().any(|(k, _)| k == "version") {
+        TreeNodes {
+            feature: serde::__get_field(pairs, "feature")?,
+            threshold: serde::__get_field(pairs, "threshold")?,
+            children: serde::__get_field(pairs, "children")?,
+            leaf_values: serde::__get_field(pairs, "leaf_values")?,
+        }
+    } else {
+        let v1: Vec<Value> = serde::__get_field(pairs, "nodes")?;
+        migrate_v1(&v1, leaf_len)?
+    };
+    validate_nodes(&nodes, leaf_len)?;
+    Ok(nodes)
+}
+
+fn migrate_v1(nodes: &[Value], leaf_len: usize) -> Result<TreeNodes, DeError> {
+    let mut out = TreeNodes::default();
+    for v in nodes {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("tree node object", v))?;
+        match pairs {
+            [(tag, body)] if tag == "Leaf" => {
+                let fields = body
+                    .as_object()
+                    .ok_or_else(|| DeError::expected("Leaf body", body))?;
+                let value: Vec<f64> = serde::__get_field(fields, "value")?;
+                if value.len() != leaf_len {
+                    return Err(DeError(format!(
+                        "leaf payload has {} values, expected {leaf_len}",
+                        value.len()
+                    )));
+                }
+                out.push_leaf(&value);
+            }
+            [(tag, body)] if tag == "Split" => {
+                let fields = body
+                    .as_object()
+                    .ok_or_else(|| DeError::expected("Split body", body))?;
+                let feature: u64 = serde::__get_field(fields, "feature")?;
+                let threshold: f64 = serde::__get_field(fields, "threshold")?;
+                let left: u32 = serde::__get_field(fields, "left")?;
+                let right: u32 = serde::__get_field(fields, "right")?;
+                if feature >= u64::from(LEAF) {
+                    return Err(DeError(format!(
+                        "split feature {feature} exceeds the u16 node layout"
+                    )));
+                }
+                let me = out.push_placeholder();
+                out.set_split(me, feature as u16, threshold, left, right);
+            }
+            _ => return Err(DeError::expected("externally tagged Leaf/Split", v)),
+        }
+    }
+    Ok(out)
+}
+
+fn validate_nodes(nodes: &TreeNodes, leaf_len: usize) -> Result<(), DeError> {
+    let n = nodes.len();
+    if nodes.threshold.len() != n || nodes.children.len() != 2 * n {
+        return Err(DeError(format!(
+            "inconsistent node arrays: {n} features, {} thresholds, {} children",
+            nodes.threshold.len(),
+            nodes.children.len()
+        )));
+    }
+    for i in 0..n {
+        if nodes.feature[i] == LEAF {
+            let off = nodes.children[2 * i] as usize;
+            if off + leaf_len > nodes.leaf_values.len() {
+                return Err(DeError(format!(
+                    "leaf {i} payload [{off}, {}) exceeds arena of {}",
+                    off + leaf_len,
+                    nodes.leaf_values.len()
+                )));
+            }
+        } else {
+            let (l, r) = (
+                nodes.children[2 * i] as usize,
+                nodes.children[2 * i + 1] as usize,
+            );
+            if l >= n || r >= n {
+                return Err(DeError(format!(
+                    "split {i} children ({l}, {r}) out of range for {n} nodes"
+                )));
             }
         }
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -92,9 +284,9 @@ fn descend<'a>(nodes: &'a [Node], row: &[f64]) -> &'a [f64] {
 // ---------------------------------------------------------------------------
 
 /// Gini-impurity CART classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
-    nodes: Vec<Node>,
+    nodes: TreeNodes,
     n_classes: usize,
     /// Unnormalized Gini-decrease importance per feature.
     raw_importance: Vec<f64>,
@@ -110,9 +302,38 @@ fn gini(counts: &[f64], total: f64) -> f64 {
         .sum::<f64>()
 }
 
+impl Serialize for DecisionTree {
+    fn to_value(&self) -> Value {
+        let mut pairs = nodes_to_pairs(&self.nodes);
+        pairs.push(("n_classes".to_string(), self.n_classes.to_value()));
+        pairs.push(("raw_importance".to_string(), self.raw_importance.to_value()));
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for DecisionTree {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("DecisionTree object", v))?;
+        let n_classes: usize = serde::__get_field(pairs, "n_classes")?;
+        if n_classes == 0 {
+            return Err(DeError("n_classes must be at least 1".to_string()));
+        }
+        let raw_importance: Vec<f64> = serde::__get_field(pairs, "raw_importance")?;
+        let nodes = nodes_from_pairs(pairs, n_classes)?;
+        Ok(DecisionTree {
+            nodes,
+            n_classes,
+            raw_importance,
+        })
+    }
+}
+
 impl DecisionTree {
-    /// Fit on `x`/`y`. The RNG drives the per-split feature subsampling
-    /// (only relevant when `max_features != All`).
+    /// Fit on `x`/`y` with the exact sort-based split search. The RNG
+    /// drives the per-split feature subsampling (only relevant when
+    /// `max_features != All`).
     ///
     /// Callers pass one label per row and at least one sample (the public
     /// path validates through `Dataset::try_new`); on mismatched lengths the
@@ -127,9 +348,10 @@ impl DecisionTree {
         debug_assert_eq!(x.rows(), y.len(), "one label per row");
         debug_assert!(n_classes >= 1);
         debug_assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        debug_assert!(x.cols() < LEAF as usize, "feature index must fit u16");
         let n = x.rows().min(y.len());
         let mut tree = DecisionTree {
-            nodes: Vec::new(),
+            nodes: TreeNodes::default(),
             n_classes,
             raw_importance: vec![0.0; x.cols()],
         };
@@ -138,19 +360,59 @@ impl DecisionTree {
         tree
     }
 
+    /// Fit over `rows` (indices into the shared binned matrix, duplicates
+    /// allowed — a bootstrap sample) with histogram split finding. No row
+    /// data is copied; `scratch` buffers are reused across fits.
+    pub fn fit_binned(
+        b: &BinnedMatrix,
+        y: &[usize],
+        rows: &[u32],
+        n_classes: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+        scratch: &mut TreeScratch,
+    ) -> Self {
+        debug_assert!(n_classes >= 1);
+        debug_assert!(!rows.is_empty(), "cannot fit on an empty sample");
+        debug_assert!(rows.iter().all(|&r| (r as usize) < b.rows()));
+        debug_assert!(b.cols() < LEAF as usize, "feature index must fit u16");
+        let mut tree = DecisionTree {
+            nodes: TreeNodes::default(),
+            n_classes,
+            raw_importance: vec![0.0; b.cols()],
+        };
+        scratch.rows.clear();
+        scratch.rows.extend_from_slice(rows);
+        scratch.hist.clear();
+        scratch.hist.resize(256 * n_classes, 0.0);
+        let n = rows.len();
+        tree.grow_binned(b, y, params, rng, scratch, 0, n, 0, n as f64);
+        tree
+    }
+
+    /// Leaf from raw class counts: normalized into the arena directly.
+    fn push_dist_leaf(&mut self, dist: &[f64]) -> u32 {
+        let total: f64 = dist.iter().sum();
+        let off = self.nodes.leaf_values.len() as u32;
+        if total > 0.0 {
+            self.nodes
+                .leaf_values
+                .extend(dist.iter().map(|d| d / total));
+        } else {
+            self.nodes.leaf_values.extend_from_slice(dist);
+        }
+        self.nodes.feature.push(LEAF);
+        self.nodes.threshold.push(0.0);
+        self.nodes.children.extend([off, 0]);
+        (self.nodes.feature.len() - 1) as u32
+    }
+
     fn leaf_from(&mut self, y: &[usize], idx: &[usize]) -> u32 {
         let mut dist = vec![0.0; self.n_classes];
         for &i in idx {
             dist[y[i]] += 1.0;
         }
-        let total: f64 = dist.iter().sum();
-        if total > 0.0 {
-            for d in &mut dist {
-                *d /= total;
-            }
-        }
-        self.nodes.push(Node::Leaf { value: dist });
-        (self.nodes.len() - 1) as u32
+        self.push_dist_leaf(&dist)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -227,17 +489,154 @@ impl DecisionTree {
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
             .into_iter()
             .partition(|&i| x.get(i, feature) <= threshold);
-        // Reserve this node's slot before growing children.
-        self.nodes.push(Node::Leaf { value: Vec::new() });
-        let me = (self.nodes.len() - 1) as u32;
+        let me = self.nodes.push_placeholder();
         let left = self.grow(x, y, left_idx, params, rng, depth + 1, n_total);
         let right = self.grow(x, y, right_idx, params, rng, depth + 1, n_total);
-        self.nodes[me as usize] = Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
+        self.nodes
+            .set_split(me, feature as u16, threshold, left, right);
+        me
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow_binned(
+        &mut self,
+        b: &BinnedMatrix,
+        y: &[usize],
+        params: &TreeParams,
+        rng: &mut StdRng,
+        scratch: &mut TreeScratch,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        n_total: f64,
+    ) -> u32 {
+        let n = hi - lo;
+        let nc = self.n_classes;
+        scratch.labels.clear();
+        scratch
+            .labels
+            .extend(scratch.rows[lo..hi].iter().map(|&r| y[r as usize] as u32));
+        scratch.counts.clear();
+        scratch.counts.resize(nc, 0.0);
+        for &lab in &scratch.labels {
+            scratch.counts[lab as usize] += 1.0;
+        }
+        let impurity = gini(&scratch.counts, n as f64);
+        let depth_stop = params.max_depth.is_some_and(|d| depth >= d);
+        if impurity == 0.0 || n < params.min_samples_split || depth_stop {
+            return self.push_dist_leaf(&scratch.counts);
+        }
+
+        // Feature subset: same RNG consumption as the exact grower, so both
+        // kernels draw identical subsets at every node.
+        let d = b.cols();
+        let k = params.max_features.resolve(d);
+        scratch.feats.clear();
+        scratch.feats.extend(0..d);
+        if k < d {
+            scratch.feats.shuffle(rng);
+            scratch.feats.truncate(k);
+            scratch.feats.sort_unstable();
+        }
+
+        let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, decrease)
+        {
+            let TreeScratch {
+                rows,
+                hist,
+                feats,
+                labels,
+                counts,
+                left,
+                right,
+                ..
+            } = &mut *scratch;
+            left.clear();
+            left.resize(nc, 0.0);
+            right.clear();
+            right.resize(nc, 0.0);
+            for &f in feats.iter() {
+                let nb = b.n_bins(f);
+                if nb < 2 {
+                    continue;
+                }
+                let col = b.column(f);
+                let hist = &mut hist[..nb * nc];
+                hist.fill(0.0);
+                for (&r, &lab) in rows[lo..hi].iter().zip(labels.iter()) {
+                    hist[col[r as usize] as usize * nc + lab as usize] += 1.0;
+                }
+                // Prefix-scan bins ascending; a boundary after bin `bin` is
+                // a candidate only when the bin holds samples of this node
+                // (matching the exact kernel's distinct-value candidates) —
+                // empty bins change neither `left` nor the partition.
+                for l in left.iter_mut() {
+                    *l = 0.0;
+                }
+                let mut n_left = 0usize;
+                for bin in 0..nb - 1 {
+                    let h = &hist[bin * nc..(bin + 1) * nc];
+                    let mut bc = 0.0f64;
+                    for (l, hv) in left.iter_mut().zip(h) {
+                        *l += hv;
+                        bc += hv;
+                    }
+                    if bc == 0.0 {
+                        continue; // same partition as the previous boundary
+                    }
+                    n_left += bc as usize;
+                    let nl = n_left;
+                    let nr = n - nl;
+                    if nr == 0 {
+                        break; // no samples to the right of any later boundary
+                    }
+                    if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                        continue;
+                    }
+                    for ((rv, cv), lv) in right.iter_mut().zip(counts.iter()).zip(left.iter()) {
+                        *rv = cv - lv;
+                    }
+                    let w_impurity = (nl as f64 * gini(left, nl as f64)
+                        + nr as f64 * gini(right, nr as f64))
+                        / n as f64;
+                    let decrease = impurity - w_impurity;
+                    if best.map_or(decrease > 1e-12, |(_, _, bd)| decrease > bd + 1e-12) {
+                        best = Some((f, bin, decrease));
+                    }
+                }
+            }
+        }
+
+        let Some((feature, bin, decrease)) = best else {
+            return self.push_dist_leaf(&scratch.counts);
         };
+        self.raw_importance[feature] += (n as f64 / n_total) * decrease;
+        let threshold = b.threshold(feature, bin);
+
+        // Stable in-place partition of this node's index window.
+        let mid = {
+            let TreeScratch { rows, part, .. } = &mut *scratch;
+            let col = b.column(feature);
+            part.clear();
+            let mut write = lo;
+            for read in lo..hi {
+                let r = rows[read];
+                if col[r as usize] as usize <= bin {
+                    rows[write] = r;
+                    write += 1;
+                } else {
+                    part.push(r);
+                }
+            }
+            rows[write..hi].copy_from_slice(part);
+            write
+        };
+
+        let me = self.nodes.push_placeholder();
+        let left_child = self.grow_binned(b, y, params, rng, scratch, lo, mid, depth + 1, n_total);
+        let right_child = self.grow_binned(b, y, params, rng, scratch, mid, hi, depth + 1, n_total);
+        self.nodes
+            .set_split(me, feature as u16, threshold, left_child, right_child);
         me
     }
 
@@ -251,28 +650,33 @@ impl DecisionTree {
 
     /// Depth of the deepest leaf.
     pub fn depth(&self) -> usize {
-        fn rec(nodes: &[Node], i: usize) -> usize {
-            match &nodes[i] {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + rec(nodes, *left as usize).max(rec(nodes, *right as usize))
-                }
-            }
-        }
-        if self.nodes.is_empty() {
+        if self.nodes.len() == 0 {
             0
         } else {
-            rec(&self.nodes, 0)
+            self.nodes.depth_from(0)
         }
+    }
+
+    /// Borrowed class-probability slice for one sample — the zero-copy
+    /// descent the forest's batched kernels build on.
+    #[inline]
+    pub fn predict_proba_slice(&self, row: &[f64]) -> &[f64] {
+        self.nodes.descend(row, self.n_classes)
+    }
+
+    /// Write the class-probability vector for one sample into `out`
+    /// (length `n_classes`) without allocating.
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(self.predict_proba_slice(row));
     }
 
     /// Class-probability vector for one sample.
     pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        descend(&self.nodes, row).to_vec()
+        self.predict_proba_slice(row).to_vec()
     }
 
     pub fn predict_row(&self, row: &[f64]) -> usize {
-        argmax(&self.predict_proba_row(row))
+        argmax(self.predict_proba_slice(row))
     }
 
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -297,21 +701,45 @@ impl DecisionTree {
 
 /// MSE (variance-reduction) CART regressor, the gradient-boosting weak
 /// learner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
-    nodes: Vec<Node>,
+    nodes: TreeNodes,
     raw_importance: Vec<f64>,
 }
 
+impl Serialize for RegressionTree {
+    fn to_value(&self) -> Value {
+        let mut pairs = nodes_to_pairs(&self.nodes);
+        pairs.push(("raw_importance".to_string(), self.raw_importance.to_value()));
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for RegressionTree {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("RegressionTree object", v))?;
+        let raw_importance: Vec<f64> = serde::__get_field(pairs, "raw_importance")?;
+        let nodes = nodes_from_pairs(pairs, 1)?;
+        Ok(RegressionTree {
+            nodes,
+            raw_importance,
+        })
+    }
+}
+
 impl RegressionTree {
-    /// Fit on `x`/`y`. Same contract as [`DecisionTree::fit`]: mismatched
-    /// lengths fall back to the common prefix, debug builds assert.
+    /// Fit on `x`/`y` with the exact sort-based split search. Same contract
+    /// as [`DecisionTree::fit`]: mismatched lengths fall back to the common
+    /// prefix, debug builds assert.
     pub fn fit(x: &Matrix, y: &[f64], params: &TreeParams, rng: &mut StdRng) -> Self {
         debug_assert_eq!(x.rows(), y.len(), "one target per row");
         debug_assert!(x.rows() >= 1, "cannot fit on an empty dataset");
+        debug_assert!(x.cols() < LEAF as usize, "feature index must fit u16");
         let n = x.rows().min(y.len());
         let mut tree = RegressionTree {
-            nodes: Vec::new(),
+            nodes: TreeNodes::default(),
             raw_importance: vec![0.0; x.cols()],
         };
         let idx: Vec<usize> = (0..n).collect();
@@ -319,10 +747,35 @@ impl RegressionTree {
         tree
     }
 
+    /// Fit over `rows` (indices into the shared binned matrix) with
+    /// histogram split finding; `y` is indexed by original row id.
+    pub fn fit_binned(
+        b: &BinnedMatrix,
+        y: &[f64],
+        rows: &[u32],
+        params: &TreeParams,
+        rng: &mut StdRng,
+        scratch: &mut TreeScratch,
+    ) -> Self {
+        debug_assert!(!rows.is_empty(), "cannot fit on an empty sample");
+        debug_assert!(rows.iter().all(|&r| (r as usize) < b.rows()));
+        debug_assert!(b.cols() < LEAF as usize, "feature index must fit u16");
+        let mut tree = RegressionTree {
+            nodes: TreeNodes::default(),
+            raw_importance: vec![0.0; b.cols()],
+        };
+        scratch.rows.clear();
+        scratch.rows.extend_from_slice(rows);
+        scratch.hist.clear();
+        scratch.hist.resize(256 * 3, 0.0);
+        let n = rows.len();
+        tree.grow_binned(b, y, params, rng, scratch, 0, n, 0, n as f64);
+        tree
+    }
+
     fn leaf_from(&mut self, y: &[f64], idx: &[usize]) -> u32 {
         let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
-        self.nodes.push(Node::Leaf { value: vec![mean] });
-        (self.nodes.len() - 1) as u32
+        self.nodes.push_leaf(&[mean])
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -400,21 +853,146 @@ impl RegressionTree {
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
             .into_iter()
             .partition(|&i| x.get(i, feature) <= threshold);
-        self.nodes.push(Node::Leaf { value: Vec::new() });
-        let me = (self.nodes.len() - 1) as u32;
+        let me = self.nodes.push_placeholder();
         let left = self.grow(x, y, left_idx, params, rng, depth + 1, n_total);
         let right = self.grow(x, y, right_idx, params, rng, depth + 1, n_total);
-        self.nodes[me as usize] = Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
+        self.nodes
+            .set_split(me, feature as u16, threshold, left, right);
+        me
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow_binned(
+        &mut self,
+        b: &BinnedMatrix,
+        y: &[f64],
+        params: &TreeParams,
+        rng: &mut StdRng,
+        scratch: &mut TreeScratch,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        n_total: f64,
+    ) -> u32 {
+        let n = hi - lo;
+        scratch.yvals.clear();
+        scratch
+            .yvals
+            .extend(scratch.rows[lo..hi].iter().map(|&r| y[r as usize]));
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        for &t in &scratch.yvals {
+            sum += t;
+            sum2 += t * t;
+        }
+        let var = (sum2 - sum * sum / n as f64).max(0.0) / n as f64;
+        let depth_stop = params.max_depth.is_some_and(|d| depth >= d);
+        if var <= 1e-18 || n < params.min_samples_split || depth_stop {
+            return self.nodes.push_leaf(&[sum / n as f64]);
+        }
+
+        let d = b.cols();
+        let k = params.max_features.resolve(d);
+        scratch.feats.clear();
+        scratch.feats.extend(0..d);
+        if k < d {
+            scratch.feats.shuffle(rng);
+            scratch.feats.truncate(k);
+            scratch.feats.sort_unstable();
+        }
+
+        let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, decrease)
+        {
+            let TreeScratch {
+                rows,
+                hist,
+                feats,
+                yvals,
+                ..
+            } = &mut *scratch;
+            for &f in feats.iter() {
+                let nb = b.n_bins(f);
+                if nb < 2 {
+                    continue;
+                }
+                let col = b.column(f);
+                let hist = &mut hist[..nb * 3];
+                hist.fill(0.0);
+                for (&r, &t) in rows[lo..hi].iter().zip(yvals.iter()) {
+                    let base = col[r as usize] as usize * 3;
+                    hist[base] += 1.0;
+                    hist[base + 1] += t;
+                    hist[base + 2] += t * t;
+                }
+                // Prefix-scan bins ascending; empty bins change nothing and
+                // are skipped, and the last populated bin exits via the
+                // `nr == 0` break (covering `bin == nb - 1`).
+                let mut lcnt = 0.0f64;
+                let mut lsum = 0.0f64;
+                let mut lsum2 = 0.0f64;
+                for bin in 0..nb - 1 {
+                    let base = bin * 3;
+                    if hist[base] == 0.0 {
+                        continue;
+                    }
+                    lcnt += hist[base];
+                    lsum += hist[base + 1];
+                    lsum2 += hist[base + 2];
+                    let nl = lcnt;
+                    let nr = n as f64 - nl;
+                    if nr == 0.0 {
+                        break;
+                    }
+                    if (nl as usize) < params.min_samples_leaf
+                        || (nr as usize) < params.min_samples_leaf
+                    {
+                        continue;
+                    }
+                    let rsum = sum - lsum;
+                    let rsum2 = sum2 - lsum2;
+                    let sse = (lsum2 - lsum * lsum / nl) + (rsum2 - rsum * rsum / nr);
+                    let decrease = var - sse / n as f64;
+                    if best.map_or(decrease > 1e-15, |(_, _, bd)| decrease > bd + 1e-15) {
+                        best = Some((f, bin, decrease));
+                    }
+                }
+            }
+        }
+
+        let Some((feature, bin, decrease)) = best else {
+            return self.nodes.push_leaf(&[sum / n as f64]);
         };
+        self.raw_importance[feature] += (n as f64 / n_total) * decrease;
+        let threshold = b.threshold(feature, bin);
+
+        let mid = {
+            let TreeScratch { rows, part, .. } = &mut *scratch;
+            let col = b.column(feature);
+            part.clear();
+            let mut write = lo;
+            for read in lo..hi {
+                let r = rows[read];
+                if col[r as usize] as usize <= bin {
+                    rows[write] = r;
+                    write += 1;
+                } else {
+                    part.push(r);
+                }
+            }
+            rows[write..hi].copy_from_slice(part);
+            write
+        };
+
+        let me = self.nodes.push_placeholder();
+        let left_child = self.grow_binned(b, y, params, rng, scratch, lo, mid, depth + 1, n_total);
+        let right_child = self.grow_binned(b, y, params, rng, scratch, mid, hi, depth + 1, n_total);
+        self.nodes
+            .set_split(me, feature as u16, threshold, left_child, right_child);
         me
     }
 
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        descend(&self.nodes, row).first().copied().unwrap_or(0.0)
+        self.nodes.descend(row, 1).first().copied().unwrap_or(0.0)
     }
 
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
@@ -451,7 +1029,7 @@ pub fn normalize(mut v: Vec<f64>) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -509,8 +1087,8 @@ mod tests {
         };
         let t = DecisionTree::fit(&x, &y, 2, &params, &mut rng());
         // Only split leaving >= 2 on each side is between index 1 and 2.
-        if let Node::Split { threshold, .. } = &t.nodes[0] {
-            assert!((1.0..2.0).contains(threshold));
+        if t.nodes.feature[0] != LEAF {
+            assert!((1.0..2.0).contains(&t.nodes.threshold[0]));
         }
     }
 
@@ -563,6 +1141,192 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: DecisionTree = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn regression_tree_serde_roundtrip() {
+        let x = Matrix::from_rows([[0.0], [1.0], [2.0], [10.0], [11.0]]);
+        let y = vec![1.0, 1.0, 1.5, 5.0, 5.0];
+        let t = RegressionTree::fit(&x, &y, &TreeParams::default(), &mut rng());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: RegressionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn v1_node_enum_layout_migrates() {
+        // A hand-written pre-SoA artifact: root split, two leaves.
+        let json = r#"{
+            "nodes": [
+                {"Split": {"feature": 0, "threshold": 1.5, "left": 1, "right": 2}},
+                {"Leaf": {"value": [1.0, 0.0]}},
+                {"Leaf": {"value": [0.0, 1.0]}}
+            ],
+            "n_classes": 2,
+            "raw_importance": [0.5]
+        }"#;
+        let t: DecisionTree = serde_json::from_str(json).unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.predict_row(&[0.0]), 0);
+        assert_eq!(t.predict_row(&[9.0]), 1);
+        assert_eq!(t.predict_proba_row(&[9.0]), vec![0.0, 1.0]);
+        // Re-serializing writes the v2 layout, which round-trips.
+        let back: DecisionTree = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected_not_panics() {
+        // Leaf payload length mismatching n_classes.
+        let bad_leaf = r#"{"nodes": [{"Leaf": {"value": [1.0]}}],
+                           "n_classes": 2, "raw_importance": []}"#;
+        assert!(serde_json::from_str::<DecisionTree>(bad_leaf).is_err());
+        // Split child out of range.
+        let bad_child = r#"{"nodes": [{"Split": {"feature": 0, "threshold": 0.0,
+                            "left": 7, "right": 8}}],
+                            "n_classes": 2, "raw_importance": []}"#;
+        assert!(serde_json::from_str::<DecisionTree>(bad_child).is_err());
+        // v2 arrays of inconsistent lengths.
+        let bad_soa = r#"{"version": 2, "feature": [65535], "threshold": [],
+                          "children": [0, 0], "leaf_values": [0.5, 0.5],
+                          "n_classes": 2, "raw_importance": []}"#;
+        assert!(serde_json::from_str::<DecisionTree>(bad_soa).is_err());
+    }
+
+    #[test]
+    fn predict_proba_into_matches_row() {
+        let (x, y) = blobs();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        let mut buf = [0.0f64; 2];
+        for i in 0..x.rows() {
+            t.predict_proba_into(x.row(i), &mut buf);
+            assert_eq!(buf.to_vec(), t.predict_proba_row(x.row(i)));
+        }
+    }
+
+    /// Random small dataset with duplicate-heavy columns (the regime the
+    /// real features live in: log₂ sizes, node counts).
+    fn random_dataset(seed: u64, n: usize, d: usize, k: usize) -> (Matrix, Vec<usize>) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        if r.gen_bool(0.5) {
+                            r.gen_range(0..8) as f64 // discrete, duplicate-heavy
+                        } else {
+                            r.gen_range(0.0..4.0) // continuous
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let y: Vec<usize> = rows
+            .iter()
+            .map(|row| ((row[0] + row[1 % d]) as usize + row.len()) % k)
+            .collect();
+        (Matrix::from_rows(rows), y)
+    }
+
+    /// Property: on lossless binnings (distinct values ≤ bins) the
+    /// histogram kernel grows a tree whose train-set predictions match the
+    /// exact sort-based kernel, and whose importances agree.
+    #[test]
+    fn binned_split_finding_matches_exact_on_train_data() {
+        for seed in 0..12u64 {
+            let (x, y) = random_dataset(seed, 60, 4, 3);
+            let b = BinnedMatrix::from_matrix(&x, 256);
+            let rows: Vec<u32> = (0..x.rows() as u32).collect();
+            let params = TreeParams::default();
+            let mut scratch = TreeScratch::default();
+            let exact = DecisionTree::fit(&x, &y, 3, &params, &mut StdRng::seed_from_u64(seed));
+            let hist = DecisionTree::fit_binned(
+                &b,
+                &y,
+                &rows,
+                3,
+                &params,
+                &mut StdRng::seed_from_u64(seed),
+                &mut scratch,
+            );
+            assert_eq!(
+                exact.predict(&x),
+                hist.predict(&x),
+                "seed {seed}: train predictions diverge"
+            );
+            for (e, h) in exact.raw_importance().iter().zip(hist.raw_importance()) {
+                assert!((e - h).abs() < 1e-12, "seed {seed}: importances diverge");
+            }
+            assert_eq!(exact.depth(), hist.depth(), "seed {seed}");
+            assert_eq!(exact.node_count(), hist.node_count(), "seed {seed}");
+        }
+    }
+
+    /// The same equivalence holds under per-node feature subsampling: both
+    /// kernels consume the RNG identically, so the subsets align.
+    #[test]
+    fn binned_matches_exact_with_feature_subsampling() {
+        for seed in 0..6u64 {
+            let (x, y) = random_dataset(100 + seed, 50, 5, 3);
+            let b = BinnedMatrix::from_matrix(&x, 256);
+            let rows: Vec<u32> = (0..x.rows() as u32).collect();
+            let params = TreeParams {
+                max_features: MaxFeatures::Count(2),
+                ..Default::default()
+            };
+            let mut scratch = TreeScratch::default();
+            let exact = DecisionTree::fit(&x, &y, 3, &params, &mut StdRng::seed_from_u64(seed));
+            let hist = DecisionTree::fit_binned(
+                &b,
+                &y,
+                &rows,
+                3,
+                &params,
+                &mut StdRng::seed_from_u64(seed),
+                &mut scratch,
+            );
+            assert_eq!(exact.predict(&x), hist.predict(&x), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn binned_regression_tree_fits_step_function() {
+        let x = Matrix::from_rows([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]]);
+        let y = vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let b = BinnedMatrix::from_matrix(&x, 256);
+        let rows: Vec<u32> = (0..6).collect();
+        let mut scratch = TreeScratch::default();
+        let t = RegressionTree::fit_binned(
+            &b,
+            &y,
+            &rows,
+            &TreeParams::default(),
+            &mut rng(),
+            &mut scratch,
+        );
+        assert!((t.predict_row(&[1.5]) - 1.0).abs() < 1e-9);
+        assert!((t.predict_row(&[11.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_fit_over_duplicated_bootstrap_rows() {
+        let (x, y) = blobs();
+        let b = BinnedMatrix::from_matrix(&x, 256);
+        // A bootstrap-style sample: duplicates, not all rows present.
+        let rows: Vec<u32> = (0..x.rows() as u32).map(|i| (i * 7) % 40).collect();
+        let mut scratch = TreeScratch::default();
+        let t = DecisionTree::fit_binned(
+            &b,
+            &y,
+            &rows,
+            2,
+            &TreeParams::default(),
+            &mut rng(),
+            &mut scratch,
+        );
+        // Still separates the blobs.
+        assert_eq!(t.predict_row(&[0.1, 1.1]), 0);
+        assert_eq!(t.predict_row(&[5.1, 6.1]), 1);
     }
 
     #[test]

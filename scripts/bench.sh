@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Records the training/inference perf point for this checkout: runs the
+# criterion benches covering forest fitting (histogram-binned vs exact
+# split finding) and batched inference, parses the ns/iter lines, and
+# writes BENCH_train_infer.json at the repo root. The headline number is
+# fit_speedup_binned_vs_exact — the wall-clock ratio of the two 40-tree
+# forest fits at dataset-zoo scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_train_infer.json
+stamp=$(date -u +%FT%TZ)
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+{
+    cargo bench -p pml-bench --bench training 2>&1
+    cargo bench -p pml-bench --bench inference 2>&1
+} | grep "ns/iter" | awk -v stamp="$stamp" -v rev="$rev" '
+  {
+    id = $1
+    ns = $2
+    gsub(/,/, "", ns)
+    ids[++n] = id
+    vals[id] = ns
+  }
+  END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", stamp
+    printf "  \"rev\": \"%s\",\n", rev
+    printf "  \"benches_ns_per_iter\": {\n"
+    for (i = 1; i <= n; i++)
+      printf "    \"%s\": %s%s\n", ids[i], vals[ids[i]], (i < n ? "," : "")
+    printf "  },\n"
+    b = vals["forest_fit/binned_40_trees"] + 0
+    e = vals["forest_fit/exact_40_trees"] + 0
+    if (b > 0 && e > 0)
+      printf "  \"fit_speedup_binned_vs_exact\": %.2f\n", e / b
+    else
+      printf "  \"fit_speedup_binned_vs_exact\": null\n"
+    printf "}\n"
+  }
+' > "$out"
+
+echo "wrote $out"
+cat "$out"

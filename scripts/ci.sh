@@ -32,4 +32,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench -- --test (smoke: each bench runs once)"
+cargo bench -p pml-bench -- --test
+
 echo "CI gate passed."

@@ -40,6 +40,25 @@ fn datagen_is_identical_across_runs() {
 }
 
 #[test]
+fn trained_model_json_is_byte_identical_for_identical_seeds() {
+    let model_json = || {
+        let mut engine = common::mini_engine();
+        engine
+            .train(Collective::Allgather)
+            .expect("training succeeds")
+            .to_json()
+            .expect("model serializes")
+    };
+    let a = model_json();
+    let b = model_json();
+    assert_eq!(
+        a, b,
+        "training is parallel (binned trees, rayon OOB) but must stay a pure \
+         function of the seed — byte-identical serialized forests"
+    );
+}
+
+#[test]
 fn tuning_table_json_is_byte_identical_for_identical_seeds() {
     let table_json = || {
         let mut engine = common::mini_engine();

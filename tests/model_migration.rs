@@ -1,0 +1,50 @@
+//! Shipped model artifacts outlive the code that wrote them. The fixture
+//! here was serialized by the pre-SoA tree layout (per-node `Leaf`/`Split`
+//! enum, forest params without `split_finder`); loading it through the
+//! current deserializer must reproduce the predictions the original model
+//! made, recorded alongside it at capture time.
+
+use pml_mpi::{by_name, JobConfig, PretrainedModel};
+
+#[test]
+fn v1_model_artifact_loads_and_predicts_identically() {
+    let json = include_str!("fixtures/model_v1_allgather.json");
+    let model = PretrainedModel::from_json(json).expect("v1 artifact loads");
+
+    let frontera = by_name("Frontera").expect("zoo cluster");
+    let jobs: Vec<JobConfig> = [1u32, 2, 3, 8, 16]
+        .iter()
+        .flat_map(|&n| {
+            [1u32, 7, 28].iter().flat_map(move |&p| {
+                (0..21)
+                    .step_by(4)
+                    .map(move |i| JobConfig::new(n, p, 1 << i))
+            })
+        })
+        .collect();
+    let preds: Vec<String> = model
+        .predict_batch(&frontera.spec.node, &jobs)
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+
+    let expected: Vec<String> =
+        serde_json::from_str(include_str!("fixtures/model_v1_allgather_expected.json"))
+            .expect("expected predictions parse");
+    assert_eq!(preds.len(), expected.len());
+    assert_eq!(preds, expected);
+}
+
+#[test]
+fn migrated_model_reserializes_in_current_layout() {
+    let json = include_str!("fixtures/model_v1_allgather.json");
+    let model = PretrainedModel::from_json(json).expect("v1 artifact loads");
+
+    // Re-serializing writes the current (SoA, versioned) layout, and that
+    // round-trips to an equal model.
+    let rewritten = model.to_json().expect("model serializes");
+    assert!(rewritten.contains("\"version\""));
+    assert!(!rewritten.contains("\"Split\""));
+    let back = PretrainedModel::from_json(&rewritten).expect("current layout parses");
+    assert_eq!(model, back);
+}

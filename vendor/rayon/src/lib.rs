@@ -1,18 +1,21 @@
 //! Offline substitute for `rayon` (see `vendor/README.md`).
 //!
 //! Implements the small parallel-iterator subset this workspace uses —
-//! `par_iter` / `into_par_iter` with `map`, `flat_map_iter`, and `collect` —
+//! `par_iter` / `into_par_iter` with `map`, `map_init`, `flat_map_iter`,
+//! `enumerate`, `for_each`, `collect`, plus `par_chunks_mut` on slices —
 //! as an *eager* fan-out: each adapter materializes its results by handing
 //! items to scoped worker threads through an atomic cursor. Output order
 //! always matches input order (a per-item slot array, not a concurrent
-//! queue), which the datagen tests rely on. Worker panics propagate to the
-//! caller exactly like rayon's.
+//! queue), which the datagen tests rely on. `map_init` builds its state
+//! once per worker thread, matching rayon's reuse guarantee closely enough
+//! for scratch-buffer recycling. Worker panics propagate to the caller
+//! exactly like rayon's.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
 }
 
 /// A materialized parallel iterator: adapters run eagerly, in parallel,
@@ -56,6 +59,20 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
+/// Mutable-slice entry point: `par_chunks_mut` hands out disjoint
+/// `&mut [T]` windows that workers fill in parallel.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
 impl<T: Send> ParIter<T> {
     pub fn map<U, F>(self, f: F) -> ParIter<U>
     where
@@ -63,7 +80,36 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> U + Sync,
     {
         ParIter {
-            items: par_map(self.items, &f),
+            items: par_map(self.items, &|| (), &|(), t| f(t)),
+        }
+    }
+
+    /// Like `map`, but each worker thread builds one `init()` value and
+    /// threads it through every item it processes — rayon's scratch-buffer
+    /// reuse idiom.
+    pub fn map_init<A, U, INIT, F>(self, init: INIT, f: F) -> ParIter<U>
+    where
+        U: Send,
+        INIT: Fn() -> A + Sync,
+        F: Fn(&mut A, T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, &|| init(), &|state, t| f(state, t)),
+        }
+    }
+
+    /// Eagerly run `f` on every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _: Vec<()> = par_map(self.items, &|| (), &|(), t| f(t));
+    }
+
+    /// Pair each item with its input-order index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
         }
     }
 
@@ -73,7 +119,9 @@ impl<T: Send> ParIter<T> {
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Sync,
     {
-        let nested = par_map(self.items, &|t| f(t).into_iter().collect::<Vec<U>>());
+        let nested = par_map(self.items, &|| (), &|(), t| {
+            f(t).into_iter().collect::<Vec<U>>()
+        });
         ParIter {
             items: nested.into_iter().flatten().collect(),
         }
@@ -85,15 +133,23 @@ impl<T: Send> ParIter<T> {
 }
 
 /// Order-preserving parallel map: worker threads pull indices from an atomic
-/// cursor and write into a dedicated output slot per item.
-fn par_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+/// cursor and write into a dedicated output slot per item. Each worker
+/// builds one `init()` state up front and reuses it across its items.
+fn par_map<T, U, A, INIT, F>(items: Vec<T>, init: &INIT, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> A + Sync,
+    F: Fn(&mut A, T) -> U + Sync,
+{
     let n = items.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
     }
 
     let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -102,20 +158,23 @@ fn par_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("rayon substitute: input slot poisoned")
+                        .take()
+                        .expect("rayon substitute: item taken twice");
+                    let result = f(&mut state, item);
+                    *outputs[i]
+                        .lock()
+                        .expect("rayon substitute: output slot poisoned") = Some(result);
                 }
-                let item = inputs[i]
-                    .lock()
-                    .expect("rayon substitute: input slot poisoned")
-                    .take()
-                    .expect("rayon substitute: item taken twice");
-                let result = f(item);
-                *outputs[i]
-                    .lock()
-                    .expect("rayon substitute: output slot poisoned") = Some(result);
             });
         }
     });
@@ -166,6 +225,52 @@ mod tests {
         let out: Vec<usize> = v.par_iter().map(|&x| x + base).collect();
         assert_eq!(out[0], 7);
         assert_eq!(out[63], 70);
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        let v: Vec<usize> = (0..256).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(
+                || Vec::<usize>::with_capacity(8),
+                |scratch, &x| {
+                    scratch.clear();
+                    scratch.push(x * 3);
+                    scratch[0]
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..256).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        let v: Vec<usize> = (1..=100).collect();
+        v.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 5050);
+    }
+
+    #[test]
+    fn enumerate_pairs_input_order_indices() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<(usize, &&str)> = v.par_iter().enumerate().collect();
+        assert_eq!(out, vec![(0, &"a"), (1, &"b"), (2, &"c")]);
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjoint_windows() {
+        let mut buf = vec![0usize; 10];
+        buf.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = i * 100 + j;
+            }
+        });
+        assert_eq!(buf, vec![0, 1, 2, 100, 101, 102, 200, 201, 202, 300]);
     }
 
     #[test]
