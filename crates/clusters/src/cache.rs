@@ -114,7 +114,12 @@ pub fn load_or_generate(
         records: records.clone(),
     };
     if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            warning.get_or_insert(format!(
+                "cache {}: could not create directory ({e})",
+                dir.display()
+            ));
+        }
     }
     match serde_json::to_vec(&file) {
         Ok(json) => {

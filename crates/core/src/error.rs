@@ -40,6 +40,8 @@ pub enum PmlError {
     },
     /// A caller-supplied value is out of range or malformed.
     InvalidInput(String),
+    /// An artifact parsed but failed static structural verification.
+    Verify(crate::verify::VerifyError),
 }
 
 impl fmt::Display for PmlError {
@@ -60,6 +62,7 @@ impl fmt::Display for PmlError {
                 write!(f, "collective mismatch: expected {expected}, got {got}")
             }
             PmlError::InvalidInput(why) => write!(f, "invalid input: {why}"),
+            PmlError::Verify(e) => write!(f, "verification failed: {e}"),
         }
     }
 }
@@ -72,6 +75,7 @@ impl std::error::Error for PmlError {
             PmlError::HwDetect(e) => Some(e),
             PmlError::Json(e) => Some(e),
             PmlError::Io { source, .. } => Some(source),
+            PmlError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -98,5 +102,11 @@ impl From<HwDetectError> for PmlError {
 impl From<serde_json::Error> for PmlError {
     fn from(e: serde_json::Error) -> Self {
         PmlError::Json(e)
+    }
+}
+
+impl From<crate::verify::VerifyError> for PmlError {
+    fn from(e: crate::verify::VerifyError) -> Self {
+        PmlError::Verify(e)
     }
 }

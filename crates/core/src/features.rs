@@ -98,12 +98,14 @@ pub fn records_to_dataset(
     } else {
         Matrix::from_rows(rows)
     };
-    Ok(Dataset::new(
+    // Records cross a trust boundary (benchmark caches on disk), so use the
+    // checked constructor rather than the debug-assert one.
+    Ok(Dataset::try_new(
         x,
         labels,
         collective.algo_count(),
         FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-    ))
+    )?)
 }
 
 /// Project a dataset onto a feature subset (the paper trains the final

@@ -15,7 +15,9 @@
 //!   selection, and the exhaustive-micro-benchmark oracle;
 //! * [`overhead`] — the core-hour models of Figs. 1 and 7;
 //! * [`tuner`] — the runtime-side facade an MPI library links: memoized
-//!   tuning-table lookups with static-rule fallback.
+//!   tuning-table lookups with static-rule fallback;
+//! * [`verify`] — static structural verification of shipped artifacts
+//!   (models, tuning tables, binned matrices) without executing them.
 
 #![deny(rust_2018_idioms, missing_debug_implementations)]
 #![deny(clippy::dbg_macro, clippy::todo)]
@@ -28,6 +30,7 @@ pub mod pipeline;
 pub mod selectors;
 pub mod tuner;
 pub mod tuning_table;
+pub mod verify;
 
 pub use engine::{EngineConfig, SelectionEngine};
 pub use error::PmlError;
@@ -40,3 +43,7 @@ pub use selectors::{
 };
 pub use tuner::Tuner;
 pub use tuning_table::{TableEntry, TableStore, TuningTable};
+pub use verify::{
+    verify_artifact_file, verify_artifact_str, verify_model, verify_model_json, verify_table,
+    verify_table_json, ArtifactKind, VerifyError, VerifyErrorKind,
+};

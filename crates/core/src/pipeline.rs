@@ -135,6 +135,11 @@ impl PretrainedModel {
         &self.selected_features
     }
 
+    /// The underlying forest, for the structural verifier.
+    pub(crate) fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
     /// Out-of-bag accuracy of the final forest, when available.
     pub fn oob_score(&self) -> Option<f64> {
         self.forest.oob_score()
@@ -210,8 +215,13 @@ impl PretrainedModel {
         Ok(serde_json::to_string(self)?)
     }
 
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parse and structurally verify a shipped artifact (v1 artifacts are
+    /// migrated during parse, so the verification pass doubles as the
+    /// post-migration re-check). Corrupt artifacts come back as
+    /// [`PmlError::Verify`] instead of predicting from broken trees.
+    pub fn from_json(s: &str) -> Result<Self, PmlError> {
+        crate::verify::verify_model_json(s)
+            .map_err(|kind| PmlError::Verify(crate::verify::VerifyError::inline(kind)))
     }
 }
 

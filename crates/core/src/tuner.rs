@@ -51,9 +51,12 @@ impl Tuner {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Load every `*.json` tuning table in a directory. Files that fail to
-    /// parse are skipped, not fatal — the warnings list says which and why
-    /// (a deployment with one damaged table still serves the rest).
+    /// Load every `*.json` tuning table in a directory, routing each
+    /// through the static verifier ([`crate::verify::verify_table`]) — grid
+    /// totality, collective consistency, fallback termination. Files that
+    /// fail to parse or verify are skipped, not fatal — the warnings list
+    /// says which and why (a deployment with one damaged table still serves
+    /// the rest).
     pub fn from_dir(dir: &std::path::Path) -> Result<(Self, Vec<String>), PmlError> {
         let io_err = |e: std::io::Error, path: &std::path::Path| PmlError::Io {
             path: path.to_path_buf(),
@@ -65,7 +68,7 @@ impl Tuner {
             let path = entry.map_err(|e| io_err(e, dir))?.path();
             if path.extension().is_some_and(|e| e == "json") {
                 let text = std::fs::read_to_string(&path).map_err(|e| io_err(e, &path))?;
-                match TuningTable::from_json(&text) {
+                match crate::verify::verify_table_json(&text) {
                     Ok(t) => tables.push(t),
                     Err(e) => warnings.push(format!("skipping table {}: {e}", path.display())),
                 }

@@ -11,6 +11,7 @@
 //! equal-frequency (quantile) bins.
 
 use crate::matrix::Matrix;
+use crate::verify::StructureIssue;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Which split-finding kernel tree growth uses at every node.
@@ -71,7 +72,7 @@ impl Deserialize for SplitFinder {
 /// per (row, feature), laid out column-major so a node's histogram pass
 /// streams one contiguous column, plus the real-valued bin edges so the
 /// trained tree predicts directly on raw feature rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BinnedMatrix {
     /// Column-major codes: `codes[f * rows + i]` is row `i`, feature `f`.
     codes: Vec<u8>,
@@ -173,6 +174,69 @@ impl BinnedMatrix {
     pub fn threshold(&self, f: usize, bin: usize) -> f64 {
         self.edges[f][bin]
     }
+
+    /// Assemble a binned matrix from its parts, verifying the metadata —
+    /// the trust-boundary counterpart of [`BinnedMatrix::from_matrix`].
+    pub fn from_parts(
+        codes: Vec<u8>,
+        rows: usize,
+        cols: usize,
+        edges: Vec<Vec<f64>>,
+    ) -> Result<Self, StructureIssue> {
+        let b = BinnedMatrix {
+            codes,
+            rows,
+            cols,
+            edges,
+        };
+        b.verify()?;
+        Ok(b)
+    }
+
+    /// Prove the binned-matrix invariants: code and edge arrays match the
+    /// declared shape, every per-feature edge list is strictly increasing
+    /// and within the 256-bin u8 budget, and every code addresses an
+    /// existing bin. Histogram kernels index bins without rechecking, so
+    /// this must pass before a deserialized binning is trained on.
+    pub fn verify(&self) -> Result<(), StructureIssue> {
+        if self.codes.len() != self.rows * self.cols || self.edges.len() != self.cols {
+            return Err(StructureIssue::Shape(format!(
+                "{}x{} matrix with {} codes and {} edge lists",
+                self.rows,
+                self.cols,
+                self.codes.len(),
+                self.edges.len()
+            )));
+        }
+        for (f, col_edges) in self.edges.iter().enumerate() {
+            if col_edges.len() + 1 > 256 {
+                return Err(StructureIssue::BinBudget {
+                    n_bins: col_edges.len() + 1,
+                });
+            }
+            for (i, w) in col_edges.windows(2).enumerate() {
+                // NaN edges fail too: thresholds must be comparable.
+                if w[0].is_nan() || w[1].is_nan() || w[0] >= w[1] {
+                    return Err(StructureIssue::BinEdgesNotIncreasing {
+                        feature: f,
+                        index: i + 1,
+                    });
+                }
+            }
+            let n_bins = col_edges.len() + 1;
+            for (row, &code) in self.column(f).iter().enumerate() {
+                if code as usize >= n_bins {
+                    return Err(StructureIssue::BinCodeOutOfRange {
+                        feature: f,
+                        row,
+                        code,
+                        n_bins,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +290,48 @@ mod tests {
         let b = BinnedMatrix::from_matrix(&x, 256);
         assert_eq!(b.n_bins(0), 1);
         assert!(b.column(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn from_parts_verifies_metadata() {
+        let x = column(&[0.5, 1.5, 2.5]);
+        let b = BinnedMatrix::from_matrix(&x, 256);
+        assert_eq!(b.verify(), Ok(()));
+        // Round-trip through serde, re-verify, and reassemble via from_parts.
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BinnedMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.verify(), Ok(()));
+        assert_eq!(back, b);
+
+        // Non-monotone edges.
+        assert!(matches!(
+            BinnedMatrix::from_parts(vec![0, 0, 1], 3, 1, vec![vec![2.0, 1.0]]),
+            Err(StructureIssue::BinEdgesNotIncreasing {
+                feature: 0,
+                index: 1
+            })
+        ));
+        // Code addressing a bin past the edge list.
+        assert!(matches!(
+            BinnedMatrix::from_parts(vec![0, 5, 1], 3, 1, vec![vec![1.0, 2.0]]),
+            Err(StructureIssue::BinCodeOutOfRange {
+                feature: 0,
+                row: 1,
+                code: 5,
+                ..
+            })
+        ));
+        // Declared shape disagreeing with the code array.
+        assert!(matches!(
+            BinnedMatrix::from_parts(vec![0, 0], 3, 1, vec![vec![1.0]]),
+            Err(StructureIssue::Shape(_))
+        ));
+        // More than 256 bins cannot be coded in u8.
+        let edges: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        assert!(matches!(
+            BinnedMatrix::from_parts(vec![0], 1, 1, vec![edges]),
+            Err(StructureIssue::BinBudget { n_bins: 257 })
+        ));
     }
 
     #[test]

@@ -51,13 +51,18 @@ impl Dataset {
         })
     }
 
-    /// Panicking construction for literals whose invariants are known at
-    /// the call site (tests, generated data).
+    /// Construction for literals whose invariants hold at the call site
+    /// (tests, generated data) — debug builds assert them. Data that
+    /// originates outside the program goes through [`Dataset::try_new`].
     pub fn new(x: Matrix, y: Vec<usize>, n_classes: usize, feature_names: Vec<String>) -> Self {
-        match Self::try_new(x, y, n_classes, feature_names) {
-            Ok(d) => d,
-            Err(MlError::LabelOutOfRange { .. }) => panic!("label out of range"),
-            Err(e) => panic!("{e}"),
+        debug_assert_eq!(x.rows(), y.len(), "one label per row");
+        debug_assert_eq!(x.cols(), feature_names.len(), "one name per feature column");
+        debug_assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        Dataset {
+            x,
+            y,
+            n_classes,
+            feature_names,
         }
     }
 
@@ -121,9 +126,23 @@ mod tests {
         assert_eq!(d.x.row(0), &[2.0, 2.0]);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "label out of range")]
     fn label_range_checked() {
         Dataset::new(Matrix::from_rows([[0.0]]), vec![3], 2, vec!["a".into()]);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_label() {
+        let err =
+            Dataset::try_new(Matrix::from_rows([[0.0]]), vec![3], 2, vec!["a".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            MlError::LabelOutOfRange {
+                label: 3,
+                n_classes: 2
+            }
+        );
     }
 }

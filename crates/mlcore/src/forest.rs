@@ -12,6 +12,7 @@ use crate::classifier::Classifier;
 use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
 use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeParams, TreeScratch};
+use crate::verify::{ForestIssue, ForestLoadError, StructureIssue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -82,6 +83,67 @@ impl RandomForest {
 
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Number of features the forest was fitted on (0 before fitting).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes the forest was fitted on (0 before fitting).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Prove every structural invariant of the ensemble: each tree's SoA
+    /// store is well-formed (child indices in-bounds, parent-before-child
+    /// order, contiguous leaf arena, per-leaf probability simplex — see
+    /// `DecisionTree::verify`), every tree agrees with the ensemble on the
+    /// class and feature counts, and the histogram bin budget fits the u8
+    /// code layout. Deserialization checks parse shape only; run this on
+    /// any forest that crossed a trust boundary before predicting with it.
+    pub fn verify(&self) -> Result<(), ForestIssue> {
+        let ensemble = |issue| ForestIssue { tree: None, issue };
+        if self.trees.is_empty() {
+            return Err(ensemble(StructureIssue::Empty));
+        }
+        if let SplitFinder::Hist { max_bins } = self.params.split_finder {
+            if !(2..=256).contains(&max_bins) {
+                return Err(ensemble(StructureIssue::BinBudget {
+                    n_bins: max_bins as usize,
+                }));
+            }
+        }
+        for (i, t) in self.trees.iter().enumerate() {
+            let located = |issue| ForestIssue {
+                tree: Some(i),
+                issue,
+            };
+            if t.n_classes() != self.n_classes {
+                return Err(located(StructureIssue::ClassCount {
+                    expected: self.n_classes,
+                    actual: t.n_classes(),
+                }));
+            }
+            if t.raw_importance().len() != self.n_features {
+                return Err(located(StructureIssue::ImportanceLength {
+                    expected: self.n_features,
+                    actual: t.raw_importance().len(),
+                }));
+            }
+            t.verify().map_err(located)?;
+        }
+        Ok(())
+    }
+
+    /// Parse a serialized forest and structurally verify it — the
+    /// trust-boundary load path. Corrupt artifacts come back as typed
+    /// errors instead of indexing out of bounds during descent.
+    pub fn from_json(s: &str) -> Result<Self, ForestLoadError> {
+        let forest: RandomForest =
+            serde_json::from_str(s).map_err(|e| ForestLoadError::Parse(e.to_string()))?;
+        forest.verify().map_err(ForestLoadError::Structure)?;
+        Ok(forest)
     }
 
     /// Out-of-bag accuracy estimate (only available with bootstrap).
@@ -214,6 +276,7 @@ impl Classifier for RandomForest {
         };
 
         let bootstrap = self.params.bootstrap;
+        debug_assert!(n < u32::MAX as usize, "row ids must fit u32");
         // Both kernels draw the bootstrap sample identically (`usize` range
         // keeps the RNG stream aligned with the exact path, and with models
         // trained before the histogram kernel existed).
@@ -532,5 +595,38 @@ mod tests {
         let json = serde_json::to_string(&f).unwrap();
         let back: RandomForest = serde_json::from_str(&json).unwrap();
         assert_eq!(f.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn from_json_verifies_and_rejects_corruption() {
+        let (x, y) = noisy_data(60, 10);
+        let mut f = RandomForest::new(ForestParams {
+            n_estimators: 4,
+            ..Default::default()
+        });
+        f.fit(&x, &y, 2).unwrap();
+        assert_eq!(f.verify(), Ok(()));
+        let json = serde_json::to_string(&f).unwrap();
+        let loaded = RandomForest::from_json(&json).unwrap();
+        assert_eq!(loaded.predict(&x), f.predict(&x));
+
+        // A child index flipped out of range surfaces as a typed
+        // structural error, never an out-of-bounds descent. The first
+        // tree's root is a split, so its left child serializes as 1.
+        let corrupt = json.replacen("\"children\":[1,", "\"children\":[40000,", 1);
+        assert_ne!(corrupt, json, "expected to corrupt the root's left child");
+        match RandomForest::from_json(&corrupt) {
+            Err(ForestLoadError::Structure(ForestIssue {
+                tree: Some(0),
+                issue: StructureIssue::ChildOutOfBounds { .. },
+            })) => {}
+            other => panic!("expected typed corruption error, got {other:?}"),
+        }
+        assert!(matches!(
+            RandomForest::from_json("{"),
+            Err(ForestLoadError::Parse(_))
+        ));
+        // An unfit forest is not a shippable artifact.
+        assert!(RandomForest::new(ForestParams::default()).verify().is_err());
     }
 }

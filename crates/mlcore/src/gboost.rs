@@ -139,6 +139,7 @@ impl Classifier for GradientBoosting {
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         self.rounds.clear();
 
+        debug_assert!(n < u32::MAX as usize, "row ids must fit u32");
         for _ in 0..self.params.n_estimators {
             // Stochastic row subsample for this round.
             let sample: Vec<u32> = if self.params.subsample < 1.0 {

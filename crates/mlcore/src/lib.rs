@@ -26,6 +26,7 @@ pub mod metrics;
 pub mod model_selection;
 pub mod svm;
 pub mod tree;
+pub mod verify;
 
 pub use binned::{BinnedMatrix, SplitFinder};
 pub use classifier::Classifier;
@@ -37,3 +38,4 @@ pub use knn::{Knn, KnnParams};
 pub use matrix::Matrix;
 pub use svm::{LinearSvm, SvmParams};
 pub use tree::{DecisionTree, MaxFeatures, RegressionTree, TreeParams, TreeScratch};
+pub use verify::{ForestIssue, ForestLoadError, StructureIssue};

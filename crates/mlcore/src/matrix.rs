@@ -15,13 +15,15 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Build from row-major data. Panics unless `data.len() == rows·cols`.
+    /// Build from row-major data whose shape holds at the call site;
+    /// debug builds assert `data.len() == rows·cols`.
     pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        debug_assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
         Matrix { data, rows, cols }
     }
 
-    /// Build from an iterator of rows. Panics on ragged input.
+    /// Build from an iterator of rows, which must all share one width;
+    /// debug builds assert against ragged input.
     pub fn from_rows<I, R>(rows: I) -> Self
     where
         I: IntoIterator<Item = R>,
@@ -34,7 +36,7 @@ impl Matrix {
             let row = row.as_ref();
             match n_cols {
                 None => n_cols = Some(row.len()),
-                Some(c) => assert_eq!(c, row.len(), "ragged rows"),
+                Some(c) => debug_assert_eq!(c, row.len(), "ragged rows"),
             }
             data.extend_from_slice(row);
             n_rows += 1;
@@ -168,12 +170,14 @@ mod tests {
         assert_eq!(std[1], 0.0);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "rows*cols")]
     fn bad_shape_rejected() {
         Matrix::from_vec(vec![1.0, 2.0, 3.0], 2, 2);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_rejected() {

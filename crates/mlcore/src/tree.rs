@@ -14,6 +14,7 @@
 
 use crate::binned::BinnedMatrix;
 use crate::matrix::Matrix;
+use crate::verify::StructureIssue;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -86,6 +87,8 @@ impl TreeNodes {
     }
 
     fn push_leaf(&mut self, values: &[f64]) -> u32 {
+        debug_assert!(self.leaf_values.len() < u32::MAX as usize - values.len());
+        debug_assert!(self.feature.len() < u32::MAX as usize);
         let off = self.leaf_values.len() as u32;
         self.leaf_values.extend_from_slice(values);
         self.feature.push(LEAF);
@@ -97,15 +100,17 @@ impl TreeNodes {
     /// Reserve a node slot before growing its children (the recursion
     /// numbers nodes pre-order, so the slot must exist first).
     fn push_placeholder(&mut self) -> u32 {
+        debug_assert!(self.feature.len() < u32::MAX as usize);
         self.feature.push(LEAF);
         self.threshold.push(0.0);
         self.children.extend([0, 0]);
         (self.feature.len() - 1) as u32
     }
 
-    fn set_split(&mut self, i: u32, feature: u16, threshold: f64, left: u32, right: u32) {
+    fn set_split(&mut self, i: u32, feature: usize, threshold: f64, left: u32, right: u32) {
+        debug_assert!(feature < LEAF as usize, "feature index must fit u16");
         let i = i as usize;
-        self.feature[i] = feature;
+        self.feature[i] = feature as u16;
         self.threshold[i] = threshold;
         self.children[2 * i] = left;
         self.children[2 * i + 1] = right;
@@ -237,7 +242,7 @@ fn migrate_v1(nodes: &[Value], leaf_len: usize) -> Result<TreeNodes, DeError> {
                     )));
                 }
                 let me = out.push_placeholder();
-                out.set_split(me, feature as u16, threshold, left, right);
+                out.set_split(me, feature as usize, threshold, left, right);
             }
             _ => return Err(DeError::expected("externally tagged Leaf/Split", v)),
         }
@@ -245,7 +250,12 @@ fn migrate_v1(nodes: &[Value], leaf_len: usize) -> Result<TreeNodes, DeError> {
     Ok(out)
 }
 
-fn validate_nodes(nodes: &TreeNodes, leaf_len: usize) -> Result<(), DeError> {
+/// Parse-shape consistency only: the parallel arrays must agree on the
+/// node count. Deeper structural invariants (child bounds, topological
+/// order, arena layout, leaf simplices) are the typed [`verify_nodes`]
+/// pass — deserialization is the wrong layer to diagnose corruption, and
+/// every artifact load path runs `verify` before descending a node.
+fn validate_nodes(nodes: &TreeNodes, _leaf_len: usize) -> Result<(), DeError> {
     let n = nodes.len();
     if nodes.threshold.len() != n || nodes.children.len() != 2 * n {
         return Err(DeError(format!(
@@ -254,26 +264,103 @@ fn validate_nodes(nodes: &TreeNodes, leaf_len: usize) -> Result<(), DeError> {
             nodes.children.len()
         )));
     }
+    Ok(())
+}
+
+/// Prove every structural invariant of a node store: parallel-array
+/// consistency, child indices in-bounds and strictly parent-before-child
+/// (which rules out cycles and guarantees descent terminates), every
+/// non-root node referenced exactly once, leaf sentinel slots zeroed, leaf
+/// payloads laid out contiguously in node order, and — for classification
+/// trees (`simplex`) — each leaf a probability distribution within 1e-6.
+fn verify_nodes(
+    nodes: &TreeNodes,
+    leaf_len: usize,
+    n_features: usize,
+    simplex: bool,
+) -> Result<(), StructureIssue> {
+    const EPS: f64 = 1e-6;
+    let n = nodes.len();
+    if nodes.threshold.len() != n || nodes.children.len() != 2 * n {
+        return Err(StructureIssue::Shape(format!(
+            "{n} features, {} thresholds, {} children",
+            nodes.threshold.len(),
+            nodes.children.len()
+        )));
+    }
+    if n == 0 {
+        return Err(StructureIssue::Empty);
+    }
+    let mut refs = vec![0u8; n];
+    let mut next_leaf_off = 0usize;
     for i in 0..n {
         if nodes.feature[i] == LEAF {
+            if nodes.children[2 * i + 1] != 0 {
+                return Err(StructureIssue::BadLeafSentinel { node: i });
+            }
             let off = nodes.children[2 * i] as usize;
-            if off + leaf_len > nodes.leaf_values.len() {
-                return Err(DeError(format!(
-                    "leaf {i} payload [{off}, {}) exceeds arena of {}",
-                    off + leaf_len,
-                    nodes.leaf_values.len()
-                )));
+            if off != next_leaf_off {
+                return Err(StructureIssue::ArenaMismatch {
+                    node: i,
+                    offset: off,
+                    expected: next_leaf_off,
+                });
+            }
+            next_leaf_off += leaf_len;
+            if next_leaf_off > nodes.leaf_values.len() {
+                return Err(StructureIssue::ArenaLength {
+                    expected: next_leaf_off,
+                    actual: nodes.leaf_values.len(),
+                });
+            }
+            if simplex {
+                let payload = &nodes.leaf_values[off..off + leaf_len];
+                for &v in payload {
+                    if !(-EPS..=1.0 + EPS).contains(&v) {
+                        return Err(StructureIssue::LeafValueOutOfRange { node: i, value: v });
+                    }
+                }
+                let sum: f64 = payload.iter().sum();
+                if (sum - 1.0).abs() > EPS {
+                    return Err(StructureIssue::NotSimplex { node: i, sum });
+                }
             }
         } else {
-            let (l, r) = (
-                nodes.children[2 * i] as usize,
-                nodes.children[2 * i + 1] as usize,
-            );
-            if l >= n || r >= n {
-                return Err(DeError(format!(
-                    "split {i} children ({l}, {r}) out of range for {n} nodes"
-                )));
+            let f = nodes.feature[i] as usize;
+            if f >= n_features {
+                return Err(StructureIssue::FeatureOutOfRange {
+                    node: i,
+                    feature: f,
+                    n_features,
+                });
             }
+            for &c in &nodes.children[2 * i..2 * i + 2] {
+                let c = c as usize;
+                if c >= n {
+                    return Err(StructureIssue::ChildOutOfBounds {
+                        node: i,
+                        child: c,
+                        n_nodes: n,
+                    });
+                }
+                if c <= i {
+                    return Err(StructureIssue::OrderViolation { node: i, child: c });
+                }
+                refs[c] = refs[c].saturating_add(1);
+            }
+        }
+    }
+    if next_leaf_off != nodes.leaf_values.len() {
+        return Err(StructureIssue::ArenaLength {
+            expected: next_leaf_off,
+            actual: nodes.leaf_values.len(),
+        });
+    }
+    for (i, &r) in refs.iter().enumerate().skip(1) {
+        match r {
+            1 => {}
+            0 => return Err(StructureIssue::UnreachableNode { node: i }),
+            _ => return Err(StructureIssue::MultiParent { node: i }),
         }
     }
     Ok(())
@@ -392,6 +479,8 @@ impl DecisionTree {
 
     /// Leaf from raw class counts: normalized into the arena directly.
     fn push_dist_leaf(&mut self, dist: &[f64]) -> u32 {
+        debug_assert!(self.nodes.leaf_values.len() < u32::MAX as usize - dist.len());
+        debug_assert!(self.nodes.feature.len() < u32::MAX as usize);
         let total: f64 = dist.iter().sum();
         let off = self.nodes.leaf_values.len() as u32;
         if total > 0.0 {
@@ -492,8 +581,7 @@ impl DecisionTree {
         let me = self.nodes.push_placeholder();
         let left = self.grow(x, y, left_idx, params, rng, depth + 1, n_total);
         let right = self.grow(x, y, right_idx, params, rng, depth + 1, n_total);
-        self.nodes
-            .set_split(me, feature as u16, threshold, left, right);
+        self.nodes.set_split(me, feature, threshold, left, right);
         me
     }
 
@@ -512,6 +600,10 @@ impl DecisionTree {
     ) -> u32 {
         let n = hi - lo;
         let nc = self.n_classes;
+        debug_assert!(
+            scratch.rows[lo..hi].iter().all(|&r| y[r as usize] < nc),
+            "labels exceed n_classes (validated at the fit boundary)"
+        );
         scratch.labels.clear();
         scratch
             .labels
@@ -636,7 +728,7 @@ impl DecisionTree {
         let left_child = self.grow_binned(b, y, params, rng, scratch, lo, mid, depth + 1, n_total);
         let right_child = self.grow_binned(b, y, params, rng, scratch, mid, hi, depth + 1, n_total);
         self.nodes
-            .set_split(me, feature as u16, threshold, left_child, right_child);
+            .set_split(me, feature, threshold, left_child, right_child);
         me
     }
 
@@ -692,6 +784,14 @@ impl DecisionTree {
     /// Normalized feature importance (sums to 1 when any split exists).
     pub fn feature_importances(&self) -> Vec<f64> {
         normalize(self.raw_importance.clone())
+    }
+
+    /// Prove the tree's structural invariants (see [`verify_nodes`]),
+    /// including the per-leaf probability simplex. Deserialization only
+    /// checks parse shape — call this before predicting on a tree that
+    /// crossed a trust boundary.
+    pub fn verify(&self) -> Result<(), StructureIssue> {
+        verify_nodes(&self.nodes, self.n_classes, self.raw_importance.len(), true)
     }
 }
 
@@ -856,8 +956,7 @@ impl RegressionTree {
         let me = self.nodes.push_placeholder();
         let left = self.grow(x, y, left_idx, params, rng, depth + 1, n_total);
         let right = self.grow(x, y, right_idx, params, rng, depth + 1, n_total);
-        self.nodes
-            .set_split(me, feature as u16, threshold, left, right);
+        self.nodes.set_split(me, feature, threshold, left, right);
         me
     }
 
@@ -987,7 +1086,7 @@ impl RegressionTree {
         let left_child = self.grow_binned(b, y, params, rng, scratch, lo, mid, depth + 1, n_total);
         let right_child = self.grow_binned(b, y, params, rng, scratch, mid, hi, depth + 1, n_total);
         self.nodes
-            .set_split(me, feature as u16, threshold, left_child, right_child);
+            .set_split(me, feature, threshold, left_child, right_child);
         me
     }
 
@@ -1001,6 +1100,12 @@ impl RegressionTree {
 
     pub fn raw_importance(&self) -> &[f64] {
         &self.raw_importance
+    }
+
+    /// Prove the tree's structural invariants (see [`verify_nodes`]).
+    /// Regression leaves hold one mean each, so no simplex check applies.
+    pub fn verify(&self) -> Result<(), StructureIssue> {
+        verify_nodes(&self.nodes, 1, self.raw_importance.len(), false)
     }
 }
 
@@ -1181,16 +1286,98 @@ mod tests {
         let bad_leaf = r#"{"nodes": [{"Leaf": {"value": [1.0]}}],
                            "n_classes": 2, "raw_importance": []}"#;
         assert!(serde_json::from_str::<DecisionTree>(bad_leaf).is_err());
-        // Split child out of range.
+        // Split child out of range: parses (shape is consistent), but the
+        // typed verify pass names the corruption before any descent.
         let bad_child = r#"{"nodes": [{"Split": {"feature": 0, "threshold": 0.0,
                             "left": 7, "right": 8}}],
-                            "n_classes": 2, "raw_importance": []}"#;
-        assert!(serde_json::from_str::<DecisionTree>(bad_child).is_err());
+                            "n_classes": 2, "raw_importance": [0.5]}"#;
+        let t: DecisionTree = serde_json::from_str(bad_child).unwrap();
+        assert!(matches!(
+            t.verify(),
+            Err(StructureIssue::ChildOutOfBounds {
+                node: 0,
+                child: 7,
+                n_nodes: 1
+            })
+        ));
         // v2 arrays of inconsistent lengths.
         let bad_soa = r#"{"version": 2, "feature": [65535], "threshold": [],
                           "children": [0, 0], "leaf_values": [0.5, 0.5],
                           "n_classes": 2, "raw_importance": []}"#;
         assert!(serde_json::from_str::<DecisionTree>(bad_soa).is_err());
+    }
+
+    /// Exercise `verify` against one hand-built violation per invariant
+    /// class, and confirm fitted trees of both kinds verify clean.
+    #[test]
+    fn verify_catches_each_structural_corruption() {
+        let (x, y) = blobs();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        assert_eq!(t.verify(), Ok(()));
+        let r = RegressionTree::fit(
+            &x,
+            &y.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+            &TreeParams::default(),
+            &mut rng(),
+        );
+        assert_eq!(r.verify(), Ok(()));
+
+        let corrupt = |f: &dyn Fn(&mut DecisionTree)| {
+            let mut bad = t.clone();
+            f(&mut bad);
+            bad.verify().unwrap_err()
+        };
+        assert!(matches!(
+            corrupt(&|b| b.nodes.children[0] = 10_000),
+            StructureIssue::ChildOutOfBounds { node: 0, .. }
+        ));
+        assert!(matches!(
+            corrupt(&|b| b.nodes.children[1] = 0),
+            StructureIssue::OrderViolation { node: 0, child: 0 }
+        ));
+        // First leaf: its unused slot must stay zero, its payload a simplex.
+        let leaf = (0..t.nodes.len())
+            .find(|&i| t.nodes.feature[i] == LEAF)
+            .expect("fitted tree has a leaf");
+        assert!(matches!(
+            corrupt(&|b| b.nodes.children[2 * leaf + 1] = 1),
+            StructureIssue::BadLeafSentinel { .. }
+        ));
+        assert!(matches!(
+            corrupt(&|b| {
+                let off = b.nodes.children[2 * leaf] as usize;
+                b.nodes.leaf_values[off] += 0.5;
+            }),
+            StructureIssue::NotSimplex { .. } | StructureIssue::LeafValueOutOfRange { .. }
+        ));
+        assert!(matches!(
+            corrupt(&|b| b.nodes.children[2 * leaf] += 1),
+            StructureIssue::ArenaMismatch { .. }
+        ));
+        assert!(matches!(
+            corrupt(&|b| b.nodes.leaf_values.push(0.0)),
+            StructureIssue::ArenaLength { .. }
+        ));
+        assert!(matches!(
+            corrupt(&|b| b.nodes.feature[0] = 9),
+            StructureIssue::FeatureOutOfRange {
+                node: 0,
+                feature: 9,
+                ..
+            }
+        ));
+        assert!(matches!(
+            corrupt(&|b| {
+                b.nodes.threshold.pop();
+            }),
+            StructureIssue::Shape(_)
+        ));
+        let empty = DecisionTree {
+            nodes: TreeNodes::default(),
+            n_classes: 2,
+            raw_importance: vec![0.0],
+        };
+        assert_eq!(empty.verify(), Err(StructureIssue::Empty));
     }
 
     #[test]

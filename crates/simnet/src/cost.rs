@@ -59,7 +59,7 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn new(node: NodeSpec, ppn: u32) -> Self {
-        assert!(ppn >= 1, "ppn must be at least 1");
+        debug_assert!(ppn >= 1, "ppn must be at least 1");
         let net_bw = node.nic.effective_bw_bytes_per_s();
         let l3_share = node.cpu.l3_cache_mib * 1024.0 * 1024.0 / ppn as f64;
         let dram_share = node.cpu.mem_bw_gbs * 1e9 / ppn as f64;

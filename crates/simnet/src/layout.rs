@@ -14,7 +14,7 @@ pub struct JobLayout {
 
 impl JobLayout {
     pub fn new(nodes: u32, ppn: u32) -> Self {
-        assert!(nodes >= 1 && ppn >= 1, "job must have at least one rank");
+        debug_assert!(nodes >= 1 && ppn >= 1, "job must have at least one rank");
         JobLayout { nodes, ppn }
     }
 
@@ -52,6 +52,7 @@ mod tests {
         assert!(!l.same_node(3, 4));
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic]
     fn zero_nodes_rejected() {

@@ -1,12 +1,14 @@
 //! The seeded allowlist (`crates/xtask/lint-allowlist.toml`) and the gate
 //! that ratchets it downward.
 //!
-//! One entry tolerates one violation of `lint` in `file` — entries are
-//! line-independent so unrelated edits never invalidate the list. The gate
-//! is a true ratchet: a violation beyond a file's budget fails, and an
-//! entry whose violation no longer exists also fails (it must be deleted,
-//! so the list only ever shrinks). `cargo xtask lint --update-allowlist`
-//! rewrites the file from the current state after a burn-down.
+//! An entry is `"lint:path:count"` — `count` violations of `lint` are
+//! tolerated in `path`. Entries are line-independent so unrelated edits
+//! never invalidate the list; the legacy form `"lint:path"` (repeated once
+//! per site) still parses and means count 1 per occurrence. The gate is a
+//! true ratchet: a violation beyond a file's budget fails, and budget
+//! beyond current violations also fails (the count must shrink, so the
+//! list only ever shrinks). `cargo xtask lint --update-allowlist` rewrites
+//! the file from the current state after a burn-down.
 
 use crate::lints::Violation;
 use std::collections::BTreeMap;
@@ -71,11 +73,27 @@ pub fn parse(text: &str) -> Result<Allowlist, String> {
                 })?;
             if !entry.contains(':') {
                 return Err(format!(
-                    "line {}: entry `{entry}` is not of the form `lint:path`",
+                    "line {}: entry `{entry}` is not of the form `lint:path:count`",
                     lineno + 1
                 ));
             }
-            *budgets.entry(entry.to_string()).or_insert(0) += 1;
+            // `lint:path:count` when the last segment is a number and the
+            // head is still a `lint:path` key; otherwise the legacy
+            // one-line-per-site form (`lint:path`, budget 1 per line).
+            let (key, count) = match entry.rsplit_once(':') {
+                Some((head, tail))
+                    if head.contains(':')
+                        && !tail.is_empty()
+                        && tail.bytes().all(|b| b.is_ascii_digit()) =>
+                {
+                    let n = tail
+                        .parse::<usize>()
+                        .map_err(|_| format!("line {}: count `{tail}` out of range", lineno + 1))?;
+                    (head.to_string(), n)
+                }
+                _ => (entry.to_string(), 1),
+            };
+            *budgets.entry(key).or_insert(0) += count;
             if item.ends_with(']') {
                 in_array = false;
             }
@@ -99,8 +117,8 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// Render the current violations as a fresh allowlist file, one entry per
-/// site, grouped and sorted for stable diffs.
+/// Render the current violations as a fresh allowlist file, one
+/// `lint:path:count` entry per key, sorted for stable diffs.
 pub fn render(violations: &[Violation]) -> String {
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for v in violations {
@@ -108,16 +126,14 @@ pub fn render(violations: &[Violation]) -> String {
     }
     let total: usize = counts.values().sum();
     let mut out = String::new();
-    out.push_str("# pml-lint allowlist: one entry per tolerated violation site.\n");
+    out.push_str("# pml-lint allowlist: `lint:path:count` tolerates `count` sites per file.\n");
     out.push_str("# Policy: this file only shrinks. New violations fail CI; fixing a site\n");
-    out.push_str("# requires deleting its entry (the gate errors on stale entries too).\n");
+    out.push_str("# requires lowering its count (the gate errors on excess budget too).\n");
     out.push_str("# Regenerate after a burn-down: cargo xtask lint --update-allowlist\n");
-    out.push_str(&format!("# Entries: {total}\n"));
+    out.push_str(&format!("# Tolerated sites: {total}\n"));
     out.push_str("allow = [\n");
     for (key, n) in &counts {
-        for _ in 0..*n {
-            out.push_str(&format!("    \"{key}\",\n"));
-        }
+        out.push_str(&format!("    \"{key}:{n}\",\n"));
     }
     out.push_str("]\n");
     out

@@ -1,10 +1,11 @@
 //! # pml-lint (`cargo xtask`)
 //!
 //! Repo-specific correctness tooling for the PML-MPI workspace: a static
-//! lint pass enforcing invariants clippy cannot express, plus orchestration
-//! for the dynamic-analysis CI lanes (ThreadSanitizer, Miri).
+//! lint pass enforcing invariants clippy cannot express, artifact
+//! verification orchestration, plus the dynamic-analysis CI lanes
+//! (ThreadSanitizer, Miri).
 //!
-//! The three lints (see [`lints`]):
+//! The seven lints (see [`lints`]):
 //!
 //! 1. **forbidden-panic** — no `unwrap`/`expect`/`panic!`/`unreachable!`
 //!    (or `todo!`/`unimplemented!`) in non-test library code. Seeded with a
@@ -19,11 +20,24 @@
 //! 3. **wildcard-algorithm-match** — no `_ =>` arms in collective-
 //!    `Algorithm` dispatch, so adding an algorithm is a compile gate, never
 //!    a silent fallback.
+//! 4. **cast-truncation** — no unguarded `as u8`/`as u16`/`as u32`
+//!    narrowing casts in `mlcore`/`core`: node indices and class labels
+//!    must be range-checked, not silently wrapped.
+//! 5. **unchecked-indexing** — no `get_unchecked`/`get_unchecked_mut`
+//!    anywhere: hot paths earn their speed through iterators, not
+//!    `unsafe` bounds-check elision.
+//! 6. **float-reduction-order** — no `.sum()`/`.reduce()`/`.fold()`/
+//!    `.product()` directly on a rayon parallel iterator in deterministic-
+//!    pipeline code: float addition is order-sensitive and the parallel
+//!    schedule is not.
+//! 7. **swallowed-result** — no `let _ = call(...)`: a discarded call
+//!    result (usually a `Result`) silences the error path.
 //!
-//! The pass is a self-contained lexical analyzer ([`mask`] blanks comments,
-//! strings, and test-only code before token scanning) because the vendored,
-//! air-gapped dependency set carries no `syn`/proc-macro stack — and a
-//! dependency-free xtask keeps the tier-1 build fast.
+//! The pass is a self-contained token-tree analyzer ([`mask`] blanks
+//! comments, strings, and test-only code; [`tokens`] lexes what remains
+//! into idents/numbers/punctuation with exact source spans) because the
+//! vendored, air-gapped dependency set carries no `syn`/proc-macro stack —
+//! and a dependency-free xtask keeps the tier-1 build fast.
 
 #![deny(rust_2018_idioms, missing_debug_implementations)]
 #![deny(clippy::dbg_macro, clippy::todo)]
@@ -31,6 +45,7 @@
 pub mod allowlist;
 pub mod lints;
 pub mod mask;
+pub mod tokens;
 pub mod walk;
 
 use lints::{LintConfig, Violation};

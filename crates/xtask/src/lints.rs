@@ -1,10 +1,13 @@
-//! The three repo-specific lint passes.
+//! The repo-specific lint passes.
 //!
 //! All passes run over masked source (see [`crate::mask`]): comments,
-//! strings, and test-only code are already blanked, so plain token scans
-//! cannot false-positive on prose or fixtures embedded in strings.
+//! strings, and test-only code are already blanked, so the token scans
+//! cannot false-positive on prose or fixtures embedded in strings. The
+//! masked text is tokenized once per file (see [`crate::tokens`]) and
+//! every pass works on token adjacency rather than raw chars.
 
 use crate::mask::{line_of, mask_source, mask_test_code};
+use crate::tokens::{fn_body_spans, innermost_fn, tokenize, Token, TokenKind};
 use std::fmt;
 
 /// Which invariant a violation breaks.
@@ -21,6 +24,23 @@ pub enum LintKind {
     /// A wildcard `_ =>` arm in algorithm dispatch: adding an `Algorithm`
     /// variant must be a compile error, never a silent fallback.
     WildcardAlgoMatch,
+    /// An `as u8`/`as u16`/`as u32` narrowing cast in an ML-core or core
+    /// function with no visible range guard: silent truncation corrupts
+    /// node indices and class labels instead of failing.
+    CastTruncation,
+    /// `get_unchecked`/`get_unchecked_mut`: every slice access in this
+    /// workspace must be bounds-checked — the hot paths already avoid
+    /// checks via iterators, not via `unsafe`.
+    UncheckedIndexing,
+    /// A float reduction (`.sum`/`.reduce`/`.fold`/`.product`) directly on
+    /// a rayon parallel iterator in deterministic-pipeline code: float
+    /// addition is not associative, so the result depends on the thread
+    /// schedule. Collect first, reduce sequentially.
+    FloatReductionOrder,
+    /// `let _ = some_call(...)`: discarding a call result (usually a
+    /// `Result`) silences the error path. Handle it or document why with
+    /// `.ok()`; plain variable discards (`let _ = x;`) are fine.
+    SwallowedResult,
 }
 
 impl LintKind {
@@ -29,6 +49,10 @@ impl LintKind {
             LintKind::ForbiddenPanic => "forbidden-panic",
             LintKind::Nondeterminism => "nondeterminism",
             LintKind::WildcardAlgoMatch => "wildcard-algorithm-match",
+            LintKind::CastTruncation => "cast-truncation",
+            LintKind::UncheckedIndexing => "unchecked-indexing",
+            LintKind::FloatReductionOrder => "float-reduction-order",
+            LintKind::SwallowedResult => "swallowed-result",
         }
     }
 
@@ -37,6 +61,10 @@ impl LintKind {
             "forbidden-panic" => Some(LintKind::ForbiddenPanic),
             "nondeterminism" => Some(LintKind::Nondeterminism),
             "wildcard-algorithm-match" => Some(LintKind::WildcardAlgoMatch),
+            "cast-truncation" => Some(LintKind::CastTruncation),
+            "unchecked-indexing" => Some(LintKind::UncheckedIndexing),
+            "float-reduction-order" => Some(LintKind::FloatReductionOrder),
+            "swallowed-result" => Some(LintKind::SwallowedResult),
             _ => None,
         }
     }
@@ -60,9 +88,8 @@ pub struct Violation {
 }
 
 impl Violation {
-    /// Allowlist key: one entry in `lint-allowlist.toml` tolerates one
-    /// violation of `lint` in `file` (line-independent, so unrelated edits
-    /// never invalidate the list).
+    /// Allowlist key: `lint:file` (line-independent, so unrelated edits
+    /// never invalidate the list). The allowlist stores a per-key budget.
     pub fn key(&self) -> String {
         format!("{}:{}", self.lint, self.file)
     }
@@ -81,13 +108,16 @@ impl fmt::Display for Violation {
 /// Scope configuration: which files each path-scoped lint applies to.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
-    /// Path prefixes (repo-relative) where the determinism lint runs.
+    /// Path prefixes (repo-relative) where the determinism lints run
+    /// (`nondeterminism` and `float-reduction-order`).
     pub determinism_scope: Vec<String>,
     /// Files where every `match` is algorithm dispatch (the enum registry).
     pub dispatch_all_matches: Vec<String>,
     /// Files where a `match` counts as dispatch when its scrutinee
     /// mentions `algo`/`Algorithm`.
     pub dispatch_scope: Vec<String>,
+    /// Path prefixes where narrowing casts must carry a range guard.
+    pub cast_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -109,6 +139,7 @@ impl LintConfig {
                 "crates/collectives/src/measure.rs".into(),
                 "crates/collectives/src/exec/".into(),
             ],
+            cast_scope: vec!["crates/mlcore/src/".into(), "crates/core/src/".into()],
         }
     }
 }
@@ -116,60 +147,39 @@ impl LintConfig {
 /// Run every lint over one file. `rel` is the repo-relative path.
 pub fn lint_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
     let masked = mask_test_code(&mask_source(src));
-    let chars: Vec<char> = masked.chars().collect();
+    let tokens = tokenize(&masked.chars().collect::<Vec<char>>());
     let mut out = Vec::new();
-    forbidden_panic(rel, &masked, &chars, &mut out);
+    forbidden_panic(rel, &masked, &tokens, &mut out);
+    unchecked_indexing(rel, &masked, &tokens, &mut out);
+    swallowed_result(rel, &masked, &tokens, &mut out);
     if cfg.determinism_scope.iter().any(|p| rel.starts_with(p)) {
-        nondeterminism(rel, &masked, &chars, &mut out);
+        nondeterminism(rel, &masked, &tokens, &mut out);
+        float_reduction_order(rel, &masked, &tokens, &mut out);
+    }
+    if cfg.cast_scope.iter().any(|p| rel.starts_with(p)) {
+        cast_truncation(rel, &masked, &tokens, &mut out);
     }
     let all_matches = cfg.dispatch_all_matches.iter().any(|p| rel == p);
     if all_matches || cfg.dispatch_scope.iter().any(|p| rel.starts_with(p)) {
-        wildcard_algo_match(rel, &masked, &chars, all_matches, &mut out);
+        wildcard_algo_match(rel, &masked, &tokens, all_matches, &mut out);
     }
     out
 }
 
-/// Iterate identifiers in masked source as (start, end) char ranges.
-fn idents(chars: &[char]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c.is_alphabetic() || c == '_' {
-            let start = i;
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                i += 1;
-            }
-            spans.push((start, i));
-        } else {
-            i += 1;
-        }
-    }
-    spans
-}
-
-fn ident_text(chars: &[char], span: (usize, usize)) -> String {
-    chars[span.0..span.1].iter().collect()
-}
-
-fn prev_nonspace(chars: &[char], mut i: usize) -> Option<char> {
-    while i > 0 {
-        i -= 1;
-        if !chars[i].is_whitespace() {
-            return Some(chars[i]);
-        }
-    }
-    None
-}
-
-fn next_nonspace(chars: &[char], mut i: usize) -> Option<char> {
-    while i < chars.len() {
-        if !chars[i].is_whitespace() {
-            return Some(chars[i]);
-        }
-        i += 1;
-    }
-    None
+fn push(
+    out: &mut Vec<Violation>,
+    lint: LintKind,
+    rel: &str,
+    masked: &str,
+    at: usize,
+    what: String,
+) {
+    out.push(Violation {
+        lint,
+        file: rel.to_string(),
+        line: line_of(masked, at),
+        what,
+    });
 }
 
 // `debug_assert*` is deliberately absent: it vanishes in release builds,
@@ -185,25 +195,25 @@ const PANIC_MACROS: [&str; 7] = [
 ];
 const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
 
-fn forbidden_panic(rel: &str, masked: &str, chars: &[char], out: &mut Vec<Violation>) {
-    for span in idents(chars) {
-        let name = ident_text(chars, span);
+fn forbidden_panic(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
         let is_macro =
-            PANIC_MACROS.contains(&name.as_str()) && next_nonspace(chars, span.1) == Some('!');
-        let is_method = PANIC_METHODS.contains(&name.as_str())
-            && prev_nonspace(chars, span.0) == Some('.')
-            && next_nonspace(chars, span.1) == Some('(');
+            PANIC_MACROS.contains(&name) && tokens.get(k + 1).is_some_and(|n| n.is_punct('!'));
+        let is_method = PANIC_METHODS.contains(&name)
+            && k > 0
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('('));
         if is_macro || is_method {
-            out.push(Violation {
-                lint: LintKind::ForbiddenPanic,
-                file: rel.to_string(),
-                line: line_of(masked, span.0),
-                what: if is_macro {
-                    format!("{name}! in library code")
-                } else {
-                    format!(".{name}() in library code")
-                },
-            });
+            let what = if is_macro {
+                format!("{name}! in library code")
+            } else {
+                format!(".{name}() in library code")
+            };
+            push(out, LintKind::ForbiddenPanic, rel, masked, t.start, what);
         }
     }
 }
@@ -212,21 +222,22 @@ const ENTROPY_IDENTS: [&str; 2] = ["thread_rng", "from_entropy"];
 const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
 
-fn nondeterminism(rel: &str, masked: &str, chars: &[char], out: &mut Vec<Violation>) {
-    let spans = idents(chars);
-    for (k, &span) in spans.iter().enumerate() {
-        let name = ident_text(chars, span);
-        let what = if ENTROPY_IDENTS.contains(&name.as_str()) {
+fn nondeterminism(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let what = if ENTROPY_IDENTS.contains(&name) {
             Some(format!("{name} (ambient entropy; plumb a seed instead)"))
-        } else if UNORDERED_TYPES.contains(&name.as_str()) {
+        } else if UNORDERED_TYPES.contains(&name) {
             Some(format!(
                 "{name} (unordered iteration; use BTreeMap/BTreeSet)"
             ))
-        } else if CLOCK_TYPES.contains(&name.as_str())
-            && next_nonspace(chars, span.1) == Some(':')
-            && spans
-                .get(k + 1)
-                .is_some_and(|&s| ident_text(chars, s) == "now")
+        } else if CLOCK_TYPES.contains(&name)
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(k + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(k + 3).is_some_and(|n| n.is_ident("now"))
         {
             Some(format!(
                 "{name}::now (wall-clock value in a derived result)"
@@ -235,12 +246,201 @@ fn nondeterminism(rel: &str, masked: &str, chars: &[char], out: &mut Vec<Violati
             None
         };
         if let Some(what) = what {
-            out.push(Violation {
-                lint: LintKind::Nondeterminism,
-                file: rel.to_string(),
-                line: line_of(masked, span.0),
-                what,
-            });
+            push(out, LintKind::Nondeterminism, rel, masked, t.start, what);
+        }
+    }
+}
+
+/// Integer types an `as` cast can silently truncate into. `u64`/`usize`
+/// widen on every supported target; `i*` and floats don't appear in the
+/// scoped crates' cast sites.
+const NARROW_TARGETS: [&str; 3] = ["u8", "u16", "u32"];
+
+/// Identifiers whose presence anywhere in the enclosing function counts as
+/// a range guard for a narrowing cast: an assertion family, a checked
+/// conversion, an explicit clamp, a `partition_point` (result bounded by
+/// the slice length, which the caller sized), a `MAX` comparison, or the
+/// `LEAF` sentinel (tree code that compares against the sentinel has
+/// already bounded the index space).
+const CAST_GUARDS: [&str; 13] = [
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "try_from",
+    "try_into",
+    "clamp",
+    "min",
+    "partition_point",
+    "MAX",
+    "LEAF",
+];
+
+fn cast_truncation(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    let spans = fn_body_spans(tokens);
+    for (k, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(k + 1) else {
+            continue;
+        };
+        if target.kind != TokenKind::Ident || !NARROW_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        // Guard search is function-scoped: a cast is fine when the
+        // enclosing fn states the range invariant somewhere.
+        let guarded = innermost_fn(&spans, t.start).is_some_and(|(s, e)| {
+            tokens.iter().any(|g| {
+                g.kind == TokenKind::Ident
+                    && g.start >= s
+                    && g.end <= e
+                    && CAST_GUARDS.contains(&g.text.as_str())
+            })
+        });
+        if !guarded {
+            push(
+                out,
+                LintKind::CastTruncation,
+                rel,
+                masked,
+                t.start,
+                format!(
+                    "unguarded `as {}` narrowing cast (assert the range or use try_from)",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+const UNCHECKED_METHODS: [&str; 2] = ["get_unchecked", "get_unchecked_mut"];
+
+fn unchecked_indexing(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && UNCHECKED_METHODS.contains(&t.text.as_str())
+            && k > 0
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                out,
+                LintKind::UncheckedIndexing,
+                rel,
+                masked,
+                t.start,
+                format!(".{}() bypasses bounds checks", t.text),
+            );
+        }
+    }
+}
+
+/// Rayon adapters that start a parallel chain.
+const PAR_SOURCES: [&str; 8] = [
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_chunks_exact",
+    "par_bridge",
+    "par_windows",
+];
+const FLOAT_REDUCERS: [&str; 4] = ["sum", "reduce", "fold", "product"];
+
+fn float_reduction_order(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !PAR_SOURCES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if k == 0 || !tokens[k - 1].is_punct('.') {
+            continue;
+        }
+        // Scan the rest of the statement (depth-0 `;`, or the close of the
+        // enclosing bracket) for an order-sensitive reduction in the chain.
+        let mut depth = 0i32;
+        let mut j = k + 1;
+        while let Some(n) = tokens.get(j) {
+            match n.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                TokenKind::Ident
+                    if depth == 0
+                        && FLOAT_REDUCERS.contains(&n.text.as_str())
+                        && tokens[j - 1].is_punct('.') =>
+                {
+                    push(
+                        out,
+                        LintKind::FloatReductionOrder,
+                        rel,
+                        masked,
+                        n.start,
+                        format!(
+                            ".{}() on a parallel iterator (schedule-dependent float order; \
+                             collect then reduce sequentially)",
+                            n.text
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+fn swallowed_result(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if !t.is_ident("let") || !tokens.get(k + 1).is_some_and(|n| n.is_ident("_")) {
+            continue;
+        }
+        // Skip an optional `: Type` annotation to the `=`.
+        let mut j = k + 2;
+        while tokens
+            .get(j)
+            .is_some_and(|n| !n.is_punct('=') && !n.is_punct(';'))
+        {
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|n| n.is_punct('=')) {
+            continue;
+        }
+        // A call in the RHS means a discarded return value; a bare
+        // `let _ = ident;` (silencing an unused binding) stays legal.
+        let mut depth = 0i32;
+        let mut has_call = false;
+        j += 1;
+        while let Some(n) = tokens.get(j) {
+            match n.kind {
+                TokenKind::Punct('(') => {
+                    depth += 1;
+                    has_call = true;
+                }
+                TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_call {
+            push(
+                out,
+                LintKind::SwallowedResult,
+                rel,
+                masked,
+                t.start,
+                "`let _ = call(...)` discards the result (handle it or use .ok())".into(),
+            );
         }
     }
 }
@@ -248,87 +448,87 @@ fn nondeterminism(rel: &str, masked: &str, chars: &[char], out: &mut Vec<Violati
 fn wildcard_algo_match(
     rel: &str,
     masked: &str,
-    chars: &[char],
+    tokens: &[Token],
     all_matches: bool,
     out: &mut Vec<Violation>,
 ) {
-    for span in idents(chars) {
-        if ident_text(chars, span) != "match" {
+    for (k, t) in tokens.iter().enumerate() {
+        if !t.is_ident("match") {
             continue;
         }
-        // Scrutinee: text until the body `{` at bracket depth 0.
-        let mut i = span.1;
+        // Scrutinee: tokens until the body `{` at bracket depth 0.
         let mut depth = 0i32;
+        let mut j = k + 1;
         let mut scrutinee = String::new();
-        while i < chars.len() {
-            let c = chars[i];
-            match c {
-                '(' | '[' => depth += 1,
-                ')' | ']' => depth -= 1,
-                '{' if depth == 0 => break,
+        while let Some(n) = tokens.get(j) {
+            match n.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => break,
                 _ => {}
             }
-            scrutinee.push(c);
-            i += 1;
+            scrutinee.push_str(&n.text);
+            j += 1;
         }
-        if i >= chars.len() {
+        if j >= tokens.len() {
             continue;
         }
-        let lower = scrutinee.to_lowercase();
-        if !all_matches && !lower.contains("algo") {
+        if !all_matches && !scrutinee.to_lowercase().contains("algo") {
             continue;
         }
-        scan_arms_for_wildcard(rel, masked, chars, i, out);
+        scan_arms_for_wildcard(rel, masked, tokens, j, out);
     }
 }
 
-/// Within a match body opening at `open` (a `{`), flag `_` patterns at arm
-/// level: brace depth 1, bracket depth 0, preceded by `{`/`,`/`}`/`|` and
-/// followed by `=>`, `if`, or `|`.
+/// Within a match body opening at token index `open` (a `{`), flag `_`
+/// patterns at arm level: brace depth 1, bracket depth 0, preceded by
+/// `{`/`,`/`}`/`|` and followed by `=>`, `if`, or `|`.
 fn scan_arms_for_wildcard(
     rel: &str,
     masked: &str,
-    chars: &[char],
+    tokens: &[Token],
     open: usize,
     out: &mut Vec<Violation>,
 ) {
     let mut brace = 0i32;
     let mut paren = 0i32;
-    let mut i = open;
-    while i < chars.len() {
-        match chars[i] {
-            '{' => brace += 1,
-            '}' => {
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        match t.kind {
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => {
                 brace -= 1;
                 if brace == 0 {
                     return;
                 }
             }
-            '(' | '[' => paren += 1,
-            ')' | ']' => paren -= 1,
-            '_' if brace == 1 && paren == 0 => {
-                let lone = !chars
-                    .get(i + 1)
-                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
-                    && !chars
-                        .get(i.wrapping_sub(1))
-                        .is_some_and(|c| c.is_alphanumeric() || *c == '_' || *c == '.');
-                let before = prev_nonspace(chars, i);
-                let after = next_nonspace(chars, i + 1);
-                let arm_head = matches!(before, Some('{') | Some(',') | Some('}') | Some('|'));
-                let arm_body = matches!(after, Some('=') | Some('i') | Some('|'));
-                if lone && arm_head && arm_body {
-                    out.push(Violation {
-                        lint: LintKind::WildcardAlgoMatch,
-                        file: rel.to_string(),
-                        line: line_of(masked, i),
-                        what: "wildcard `_` arm in Algorithm dispatch (make the match exhaustive)"
-                            .into(),
-                    });
+            TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => paren -= 1,
+            TokenKind::Ident if t.text == "_" && brace == 1 && paren == 0 => {
+                let arm_head = j > 0
+                    && matches!(
+                        tokens[j - 1].kind,
+                        TokenKind::Punct('{')
+                            | TokenKind::Punct(',')
+                            | TokenKind::Punct('}')
+                            | TokenKind::Punct('|')
+                    );
+                let arm_body = tokens
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_punct('=') || n.is_punct('|') || n.is_ident("if"));
+                if arm_head && arm_body {
+                    push(
+                        out,
+                        LintKind::WildcardAlgoMatch,
+                        rel,
+                        masked,
+                        t.start,
+                        "wildcard `_` arm in Algorithm dispatch (make the match exhaustive)".into(),
+                    );
                 }
             }
             _ => {}
         }
-        i += 1;
+        j += 1;
     }
 }

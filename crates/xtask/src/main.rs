@@ -4,6 +4,7 @@
 //! cargo xtask lint                      # run pml-lint against the allowlist
 //! cargo xtask lint --list               # print every current violation
 //! cargo xtask lint --update-allowlist   # rewrite the allowlist after a burn-down
+//! cargo xtask verify-artifacts          # pml-mpi verify over committed + fresh artifacts
 //! cargo xtask tsan [filter]             # ThreadSanitizer lane (nightly) on the threaded executor
 //! cargo xtask miri [filter]             # Miri lane (nightly) on mlcore + collectives unit tests
 //! ```
@@ -24,10 +25,11 @@ fn main() -> ExitCode {
     let rest = &args[1.min(args.len())..];
     let result = match cmd {
         "lint" => cmd_lint(rest),
+        "verify-artifacts" => cmd_verify_artifacts(rest),
         "tsan" => cmd_tsan(rest),
         "miri" => cmd_miri(rest),
         "help" | "--help" | "-h" => {
-            eprintln!("usage: cargo xtask [lint [--list|--update-allowlist] | tsan [filter] | miri [filter]]");
+            eprintln!("usage: cargo xtask [lint [--list|--update-allowlist] | verify-artifacts | tsan [filter] | miri [filter]]");
             Ok(())
         }
         other => Err(format!(
@@ -134,6 +136,59 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     } else {
         Err("pml-lint gate failed".into())
     }
+}
+
+/// Static artifact-verification lane: run `pml-mpi verify` over every
+/// committed artifact fixture plus a freshly generated model and tuning
+/// table, so the writer → verifier roundtrip is gated in CI. Expected
+/// JSON under `tests/fixtures/` that is not an artifact (the
+/// `*_expected.json` prediction vectors) is skipped.
+fn cmd_verify_artifacts(args: &[String]) -> Result<(), String> {
+    if let Some(bad) = args.first() {
+        return Err(format!("unknown verify-artifacts flag `{bad}`"));
+    }
+    let root = find_root()?;
+    let out_dir = root.join("target/verify-artifacts");
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    let pml = |cmd_args: &[&str]| -> Result<(), String> {
+        let mut c = Command::new("cargo");
+        c.current_dir(&root)
+            .args(["run", "--release", "-q", "-p", "pml-mpi", "--"])
+            .args(cmd_args);
+        run(c, &format!("pml-mpi {}", cmd_args.join(" ")))
+    };
+
+    // Fresh artifacts, one per collective (the committed data/ cache makes
+    // this fast — no simulation sweep).
+    let model = out_dir.join("model_allgather.json").display().to_string();
+    let table = out_dir.join("table_ri_alltoall.json").display().to_string();
+    pml(&["train", "allgather", "--out", &model])?;
+    pml(&["table", "RI", "alltoall", "--out", &table])?;
+
+    // Committed artifact fixtures (currently the v1 migration model).
+    let fixtures = root.join("tests/fixtures");
+    let mut targets: Vec<String> = std::fs::read_dir(&fixtures)
+        .map_err(|e| format!("reading {}: {e}", fixtures.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && !p
+                    .file_stem()
+                    .is_some_and(|s| s.to_string_lossy().ends_with("_expected"))
+        })
+        .map(|p| p.display().to_string())
+        .collect();
+    targets.sort();
+    targets.push(model);
+    targets.push(table);
+
+    let mut verify_args = vec!["verify"];
+    verify_args.extend(targets.iter().map(String::as_str));
+    pml(&verify_args)?;
+    println!("verify-artifacts: {} artifact(s) verified", targets.len());
+    Ok(())
 }
 
 /// ThreadSanitizer lane: the threaded executor's test suite under

@@ -1,0 +1,139 @@
+//! A lightweight token stream over masked source.
+//!
+//! The lint passes upgraded from raw char scans to this token layer: each
+//! token carries its char span in the masked text (which maps 1:1 to the
+//! original, so `mask::line_of` stays exact), and the lints reason about
+//! token adjacency instead of hand-rolled `next_nonspace` scans. Still no
+//! `syn` — the vendored, air-gapped dependency set has no proc-macro
+//! stack, and a shallow token pass is all these lints need.
+
+/// Token class. Punctuation is one char per token; the lints only ever ask
+/// about single-char adjacency (`!`, `.`, `(`, `:`…), so multi-char
+/// operators like `=>` or `::` are two consecutive `Punct` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident,
+    Number,
+    Punct(char),
+}
+
+/// One token: kind, text, and the char span in the masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// Char offset of the first char (for `mask::line_of`).
+    pub start: usize,
+    /// Char offset one past the last char.
+    pub end: usize,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenize masked source chars. Comments, strings, and test code are
+/// already blanked to spaces, so only idents, numbers, and raw punctuation
+/// remain.
+pub fn tokenize(chars: &[char]) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                start,
+                end: i,
+            });
+        } else if c.is_ascii_digit() {
+            // One number token spans digits, `_` separators, type suffixes
+            // (`1u32`), and a decimal point only when a digit follows (so
+            // `0..n` stays three tokens and `1.0f64.sqrt` keeps its method
+            // dot).
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric()
+                    || chars[i] == '_'
+                    || (chars[i] == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+            {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                start,
+                end: i,
+            });
+        } else {
+            out.push(Token {
+                kind: TokenKind::Punct(c),
+                text: c.to_string(),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Char spans (start, end) of every `fn` body in the token stream, found
+/// by brace matching from each `fn` keyword. Trait-method declarations
+/// (`fn f();`) have no body and contribute no span.
+pub fn fn_body_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (k, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        // Walk to the body `{`, giving up at a `;` (bodyless declaration).
+        let mut j = k + 1;
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            continue;
+        }
+        let open = j;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                depth += 1;
+            } else if tokens[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if j < tokens.len() {
+            spans.push((tokens[open].start, tokens[j].end));
+        }
+    }
+    spans
+}
+
+/// The innermost `fn` body span containing char offset `at` — the last
+/// (deepest-starting) enclosing candidate.
+pub fn innermost_fn(spans: &[(usize, usize)], at: usize) -> Option<(usize, usize)> {
+    spans
+        .iter()
+        .copied()
+        .filter(|&(s, e)| s <= at && at < e)
+        .max_by_key(|&(s, _)| s)
+}

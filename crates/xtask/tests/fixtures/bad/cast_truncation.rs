@@ -1,0 +1,16 @@
+//! Fixture: narrowing casts with and without range guards.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+pub fn pack(idx: usize) -> u32 { idx as u32 }
+
+/// Guarded: the enclosing fn states the range invariant, so the cast
+/// cannot silently truncate.
+pub fn pack_checked(idx: usize) -> u32 {
+    debug_assert!(idx <= u32::MAX as usize);
+    idx as u32
+}
+
+/// Widening casts are always fine.
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

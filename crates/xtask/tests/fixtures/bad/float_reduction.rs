@@ -1,0 +1,15 @@
+//! Fixture: schedule-dependent float reduction on a parallel iterator.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+pub fn total(xs: &[f64]) -> f64 { xs.par_iter().sum() }
+
+/// Collect in deterministic order first, then reduce sequentially: fine.
+pub fn total_ordered(xs: &[f64]) -> f64 {
+    let parts: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    parts.iter().sum()
+}
+
+/// Sequential reductions are always fine.
+pub fn total_seq(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,14 @@
+//! Fixture: a discarded call result that silences the error path.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+pub fn save(path: &str, data: &[u8]) { let _ = std::fs::write(path, data); }
+
+/// Discarding a plain binding is fine — there is no result to lose.
+pub fn quiet(flag: bool) {
+    let _ = flag;
+}
+
+/// Explicitly acknowledging the result is fine.
+pub fn save_acknowledged(path: &str, data: &[u8]) {
+    std::fs::write(path, data).ok();
+}

@@ -1,0 +1,14 @@
+//! Fixture: unsafe bounds-check elision the lint must flag.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+pub unsafe fn first(xs: &[f64]) -> f64 { *xs.get_unchecked(0) }
+
+/// Checked access is fine.
+pub fn first_checked(xs: &[f64]) -> Option<f64> {
+    xs.get(0).copied()
+}
+
+/// An identifier that merely starts with the method name is not a call.
+pub fn get_unchecked_count() -> usize {
+    0
+}

@@ -23,9 +23,14 @@ fn fixture(name: &str) -> String {
 /// Scope config mirroring the real one, aimed at the fixture tree.
 fn fixture_config() -> LintConfig {
     LintConfig {
-        determinism_scope: vec!["bad/entropy_in_datagen.rs".into(), "clean/".into()],
+        determinism_scope: vec![
+            "bad/entropy_in_datagen.rs".into(),
+            "bad/float_reduction.rs".into(),
+            "clean/".into(),
+        ],
         dispatch_all_matches: vec![],
         dispatch_scope: vec!["bad/wildcard_dispatch.rs".into(), "clean/".into()],
+        cast_scope: vec!["bad/cast_truncation.rs".into(), "clean/".into()],
     }
 }
 
@@ -108,6 +113,52 @@ fn clean_fixture_passes_every_lint() {
 }
 
 #[test]
+fn flags_unguarded_narrowing_cast_but_not_guarded_or_widening() {
+    let rel = "bad/cast_truncation.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    // Only the unguarded one-liner; the debug_assert-guarded cast and the
+    // widening `as u64` both pass.
+    assert_eq!(kinds(&vs), vec![LintKind::CastTruncation], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    assert!(vs[0].what.contains("u32"), "{}", vs[0].what);
+    // Outside the cast scope the lint stays silent.
+    let vs = lint_file("elsewhere/cast.rs", &fixture(rel), &fixture_config());
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn flags_get_unchecked_in_any_path() {
+    let rel = "bad/unchecked_indexing.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    assert_eq!(kinds(&vs), vec![LintKind::UncheckedIndexing], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    // Unscoped lint: the same file anywhere in the workspace still fails.
+    let vs = lint_file("elsewhere/idx.rs", &fixture(rel), &fixture_config());
+    assert_eq!(kinds(&vs), vec![LintKind::UncheckedIndexing], "{vs:?}");
+}
+
+#[test]
+fn flags_parallel_float_reduction_in_scope_only() {
+    let rel = "bad/float_reduction.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    // The collect-then-sequential-sum and plain-iterator variants pass.
+    assert_eq!(kinds(&vs), vec![LintKind::FloatReductionOrder], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    assert!(vs[0].what.contains("sum"), "{}", vs[0].what);
+    let vs = lint_file("elsewhere/reduce.rs", &fixture(rel), &fixture_config());
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn flags_swallowed_call_result_but_not_bare_discard() {
+    let rel = "bad/swallowed_result.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    // `let _ = flag;` and `.ok()` both pass; only the discarded call fails.
+    assert_eq!(kinds(&vs), vec![LintKind::SwallowedResult], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+}
+
+#[test]
 fn allowlist_budget_tolerates_then_ratchets() {
     let rel = "bad/stray_unwrap.rs";
     let vs = lint_file(rel, &fixture(rel), &fixture_config());
@@ -149,6 +200,45 @@ fn allowlist_parser_accepts_comments_and_rejects_junk() {
     assert!(allowlist::parse("allow = [ bare-entry ]").is_err());
     assert!(allowlist::parse("deny = [\"x:y\"]").is_err());
     assert!(allowlist::parse("allow = [\"no-colon\"]").is_err());
+}
+
+#[test]
+fn allowlist_count_keys_parse_and_render() {
+    // `lint:path:count` carries a budget; the legacy per-site form still
+    // means one per line.
+    let text = "allow = [\n  \"forbidden-panic:src/a.rs:3\",\n  \"nondeterminism:src/b.rs\",\n]\n";
+    let parsed = allowlist::parse(text).expect("count-keyed allowlist");
+    assert_eq!(
+        parsed.budgets.get("forbidden-panic:src/a.rs").copied(),
+        Some(3)
+    );
+    assert_eq!(
+        parsed.budgets.get("nondeterminism:src/b.rs").copied(),
+        Some(1)
+    );
+    assert_eq!(parsed.total_entries(), 4);
+
+    // A path whose last segment is not numeric stays a whole key.
+    let legacy = allowlist::parse("allow = [\"forbidden-panic:src/a.rs\"]").unwrap();
+    assert_eq!(
+        legacy.budgets.get("forbidden-panic:src/a.rs").copied(),
+        Some(1)
+    );
+
+    // Render folds duplicate sites into one count-keyed line.
+    let v = Violation {
+        lint: LintKind::ForbiddenPanic,
+        file: "src/a.rs".into(),
+        line: 1,
+        what: "x".into(),
+    };
+    let rendered = allowlist::render(&[v.clone(), v]);
+    assert!(
+        rendered.contains("\"forbidden-panic:src/a.rs:2\""),
+        "{rendered}"
+    );
+    let roundtrip = allowlist::parse(&rendered).expect("rendered list parses");
+    assert_eq!(roundtrip.total_entries(), 2);
 }
 
 #[test]

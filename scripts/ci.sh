@@ -29,6 +29,9 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo xtask verify-artifacts"
+cargo xtask verify-artifacts
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -46,8 +46,9 @@ pub use pml_simnet as simnet;
 pub use pml_clusters::{by_name, zoo, ClusterEntry, DatagenConfig, TuningRecord};
 pub use pml_collectives::{Algorithm, Collective};
 pub use pml_core::{
-    applicable_or_fallback, detect_node, AlgorithmSelector, EngineConfig, JobConfig, MlSelector,
-    MvapichDefault, OpenMpiDefault, OracleSelector, PmlError, PretrainedModel, RandomSelector,
-    SelectionEngine, TableStore, TrainConfig, Tuner, TuningTable, FEATURE_NAMES,
+    applicable_or_fallback, detect_node, AlgorithmSelector, ArtifactKind, EngineConfig, JobConfig,
+    MlSelector, MvapichDefault, OpenMpiDefault, OracleSelector, PmlError, PretrainedModel,
+    RandomSelector, SelectionEngine, TableStore, TrainConfig, Tuner, TuningTable, VerifyError,
+    VerifyErrorKind, FEATURE_NAMES,
 };
 pub use pml_simnet::NodeSpec;

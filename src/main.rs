@@ -1,6 +1,6 @@
 //! `pml-mpi` — command-line front end for the selection framework.
 //!
-//! Six subcommands cover the offline → online lifecycle:
+//! Seven subcommands cover the offline → online lifecycle:
 //!
 //! ```text
 //! zoo       list the 18-cluster benchmark zoo
@@ -9,6 +9,7 @@
 //! predict   pick an algorithm for a job (zoo cluster or captured hw files)
 //! table     emit the JSON tuning table for a (cluster, collective)
 //! compare   ML pick vs library defaults vs oracle over a message sweep
+//! verify    statically verify model / tuning-table artifacts
 //! ```
 //!
 //! Argument parsing is hand rolled (the build is offline — no clap); every
@@ -46,6 +47,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some("predict") => cmd_predict(&args[1..]),
         Some("table") => cmd_table(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some(other) => Err(format!("unknown subcommand {other:?} — run `pml-mpi help`").into()),
     }
 }
@@ -64,6 +66,7 @@ SUBCOMMANDS:
   predict <collective>             pick an algorithm for one job
   table <cluster> <collective>     emit a cluster's JSON tuning table
   compare <cluster> <collective>   ML vs library defaults vs oracle
+  verify <FILE>...                 statically verify artifact files
   help                             show this message
 
 COMMON OPTIONS:
@@ -90,7 +93,8 @@ EXAMPLES:
   pml-mpi predict alltoall --lscpu examples/captures/lscpu_frontera.txt \\
       --ibstat examples/captures/ibstat_edr.txt --nodes 8 --ppn 56 --msg 65536
   pml-mpi table Frontera allgather --out frontera_allgather.json
-  pml-mpi compare Frontera alltoall --nodes 16 --ppn 56"
+  pml-mpi compare Frontera alltoall --nodes 16 --ppn 56
+  pml-mpi verify model_ag.json frontera_allgather.json"
     );
 }
 
@@ -457,4 +461,33 @@ fn cmd_compare(args: &[String]) -> Result<(), Box<dyn Error>> {
 /// datasets use, so its oracle column matches the training distribution.
 fn engine_cfg_datagen() -> pml_mpi::DatagenConfig {
     pml_mpi::DatagenConfig::default()
+}
+
+/// Statically verify artifact files (models, tuning tables, binned
+/// matrices) without executing them. Prints one line per file; any failure
+/// is reported with its path and the command exits nonzero after checking
+/// every file.
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &[], &[])?;
+    if opts.positional.is_empty() {
+        return Err("usage: pml-mpi verify <FILE>...".into());
+    }
+    let mut failures = 0usize;
+    for path in &opts.positional {
+        match pml_mpi::core::verify_artifact_file(Path::new(path)) {
+            Ok(kind) => println!("{path}: OK ({kind})"),
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} artifact(s) failed verification",
+            opts.positional.len()
+        )
+        .into());
+    }
+    Ok(())
 }

@@ -1,0 +1,254 @@
+//! Mutation harness for pml-verify: corrupt model / table / binned-matrix
+//! JSON one invariant at a time and check that verification reports the
+//! matching typed error — and that no corruption class panics. The model
+//! base artifact is the committed v1 fixture migrated to the current
+//! layout, so the mutations also exercise the post-migration re-check.
+
+use pml_mpi::collectives::AlltoallAlgo;
+use pml_mpi::core::{verify_artifact_str, ArtifactKind, VerifyErrorKind};
+use pml_mpi::mlcore::{BinnedMatrix, Matrix};
+use pml_mpi::{Algorithm, Collective, PmlError, PretrainedModel, TuningTable};
+use serde_json::JsonValue;
+
+fn obj(v: &mut JsonValue) -> &mut Vec<(String, JsonValue)> {
+    match v {
+        JsonValue::Object(pairs) => pairs,
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn field<'a>(v: &'a mut JsonValue, key: &str) -> &'a mut JsonValue {
+    obj(v)
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("no field `{key}`"))
+}
+
+fn arr(v: &mut JsonValue) -> &mut Vec<JsonValue> {
+    match v {
+        JsonValue::Array(items) => items,
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+/// The v1 fixture migrated to the current (v2 SoA) serialization: the
+/// base every model mutation perturbs.
+fn v2_model_json() -> String {
+    let v1 = include_str!("fixtures/model_v1_allgather.json");
+    PretrainedModel::from_json(v1)
+        .expect("v1 fixture verifies")
+        .to_json()
+        .expect("model serializes")
+}
+
+/// Parse → mutate one spot in the first tree → reserialize.
+fn mutate_model(f: impl FnOnce(&mut JsonValue)) -> String {
+    let mut v: JsonValue = serde_json::from_str(&v2_model_json()).unwrap();
+    f(&mut v);
+    serde_json::to_string(&v).unwrap()
+}
+
+fn first_tree(v: &mut JsonValue) -> &mut JsonValue {
+    &mut arr(field(field(v, "forest"), "trees"))[0]
+}
+
+#[test]
+fn out_of_bounds_child_is_a_tree_error() {
+    let json = mutate_model(|v| {
+        arr(field(first_tree(v), "children"))[0] = JsonValue::UInt(9999);
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::Tree { tree: 0, .. })
+    ));
+}
+
+#[test]
+fn child_before_parent_is_a_tree_error() {
+    // A left child pointing back at the root breaks parent-before-child
+    // order (the acyclicity proof).
+    let json = mutate_model(|v| {
+        arr(field(first_tree(v), "children"))[0] = JsonValue::UInt(0);
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::Tree { tree: 0, .. })
+    ));
+}
+
+#[test]
+fn nonzero_leaf_sentinel_slot_is_a_tree_error() {
+    let json = mutate_model(|v| {
+        let tree = first_tree(v);
+        let leaf = arr(field(tree, "feature"))
+            .iter()
+            .position(|f| f.as_u64() == Some(u16::MAX as u64))
+            .expect("tree has a leaf");
+        arr(field(tree, "children"))[2 * leaf] = JsonValue::UInt(7);
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::Tree { tree: 0, .. })
+    ));
+}
+
+#[test]
+fn non_simplex_leaf_distribution_is_a_tree_error() {
+    let json = mutate_model(|v| {
+        let leaves = arr(field(first_tree(v), "leaf_values"));
+        for slot in leaves.iter_mut() {
+            *slot = JsonValue::Float(0.9);
+        }
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::Tree { tree: 0, .. })
+    ));
+}
+
+#[test]
+fn unsorted_selected_features_is_a_model_error() {
+    let json = mutate_model(|v| {
+        arr(field(v, "selected_features")).reverse();
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::Model(_))
+    ));
+}
+
+#[test]
+fn from_json_routes_through_verification() {
+    // The public constructor must reject what the verifier rejects — with
+    // the typed error intact under `PmlError::Verify`.
+    let json = mutate_model(|v| {
+        arr(field(first_tree(v), "children"))[0] = JsonValue::UInt(9999);
+    });
+    match PretrainedModel::from_json(&json) {
+        Err(PmlError::Verify(e)) => {
+            assert!(
+                matches!(e.kind, VerifyErrorKind::Tree { tree: 0, .. }),
+                "{e}"
+            );
+        }
+        other => panic!("expected a verify error, got {other:?}"),
+    }
+}
+
+fn total_table() -> TuningTable {
+    let mut t = TuningTable::new("X", Collective::Alltoall);
+    for (n, p, m, a) in [
+        (2, 8, 64, AlltoallAlgo::Bruck),
+        (2, 8, 65536, AlltoallAlgo::Pairwise),
+        (16, 8, 64, AlltoallAlgo::ScatterDest),
+        (16, 8, 65536, AlltoallAlgo::Pairwise),
+    ] {
+        t.insert(n, p, m, Algorithm::Alltoall(a)).unwrap();
+    }
+    t
+}
+
+fn mutate_table(f: impl FnOnce(&mut JsonValue)) -> String {
+    let mut v: JsonValue = serde_json::from_str(&total_table().to_json().unwrap()).unwrap();
+    f(&mut v);
+    serde_json::to_string(&v).unwrap()
+}
+
+#[test]
+fn missing_grid_cell_is_an_incomplete_grid_error() {
+    let json = mutate_table(|v| {
+        arr(field(v, "entries")).pop();
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::IncompleteGrid {
+            nodes: 16,
+            ppn: 8,
+            msg_size: 65536
+        })
+    ));
+}
+
+#[test]
+fn duplicated_grid_cell_is_a_duplicate_cell_error() {
+    let json = mutate_table(|v| {
+        let entries = arr(field(v, "entries"));
+        let first = entries[0].clone();
+        entries.push(first);
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::DuplicateCell { .. })
+    ));
+}
+
+#[test]
+fn foreign_collective_is_a_cross_collective_error() {
+    let json = mutate_table(|v| {
+        *field(v, "collective") = JsonValue::Str("Allgather".into());
+    });
+    assert!(matches!(
+        verify_artifact_str(&json),
+        Err(VerifyErrorKind::CrossCollective {
+            expected: Collective::Allgather,
+            got: Collective::Alltoall,
+        })
+    ));
+}
+
+#[test]
+fn non_monotone_bin_edges_are_a_binned_error() {
+    let x = Matrix::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 6, 1);
+    let b = BinnedMatrix::from_matrix(&x, 8);
+    let good = serde_json::to_string(&b).unwrap();
+    assert_eq!(
+        verify_artifact_str(&good),
+        Ok(ArtifactKind::BinnedMatrix),
+        "pristine binned matrix must verify"
+    );
+
+    let mut v: JsonValue = serde_json::from_str(&good).unwrap();
+    arr(&mut arr(field(&mut v, "edges"))[0]).reverse();
+    let bad = serde_json::to_string(&v).unwrap();
+    assert!(matches!(
+        verify_artifact_str(&bad),
+        Err(VerifyErrorKind::Binned(_))
+    ));
+}
+
+#[test]
+fn pristine_artifacts_verify() {
+    assert_eq!(
+        verify_artifact_str(&v2_model_json()),
+        Ok(ArtifactKind::Model)
+    );
+    assert_eq!(
+        verify_artifact_str(&total_table().to_json().unwrap()),
+        Ok(ArtifactKind::TuningTable)
+    );
+}
+
+/// Property sweep: no truncation or byte-smash of either artifact may
+/// panic — every corruption lands in `Err`, never in an abort.
+#[test]
+fn corrupted_bytes_never_panic() {
+    for base in [v2_model_json(), total_table().to_json().unwrap()] {
+        assert!(base.is_ascii(), "artifact JSON is ASCII");
+        let step = (base.len() / 37).max(1);
+        for cut in (0..base.len()).step_by(step) {
+            if verify_artifact_str(&base[..cut]).is_ok() {
+                panic!("truncation at {cut} verified");
+            }
+        }
+        for pos in (0..base.len()).step_by(step) {
+            let mut smashed = base.clone().into_bytes();
+            smashed[pos] = b'Z';
+            let smashed = String::from_utf8(smashed).unwrap();
+            // A smash inside a string value can still be a valid artifact
+            // (e.g. the cluster name); it must simply never panic.
+            let _ = verify_artifact_str(&smashed);
+            let _ = PretrainedModel::from_json(&smashed);
+        }
+    }
+}
