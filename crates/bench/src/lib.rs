@@ -48,8 +48,8 @@ pub fn full_dataset(collective: Collective) -> Result<Vec<TuningRecord>, PmlErro
         &standard_datagen(),
     )
     .map_err(PmlError::from)?;
-    if let Some(w) = &load.warning {
-        eprintln!("warning: {w}");
+    for ev in &load.events {
+        eprintln!("warning: {}", ev.message);
     }
     Ok(load.records)
 }

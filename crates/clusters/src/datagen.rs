@@ -13,7 +13,11 @@ use crate::zoo::ClusterEntry;
 use pml_collectives::{
     measure, measure_noisy, measure_sweep, Algorithm, Collective, MeasureConfig,
 };
+use pml_obs::{span, Counter};
 use pml_simnet::{JobLayout, NoiseModel};
+
+/// Grid cells measured by dataset generation (one tuning record each).
+static DATAGEN_CELLS: Counter = Counter::new("datagen.cells");
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -140,12 +144,13 @@ pub fn generate_cluster(
     cfg: &DatagenConfig,
 ) -> Result<Vec<TuningRecord>, ClustersError> {
     cfg.validate()?;
+    let _span = span!("datagen.cluster", cluster = entry.name());
     let shapes: Vec<(u32, u32)> = entry
         .node_grid
         .iter()
         .flat_map(|&n| entry.ppn_grid.iter().map(move |&p| (n, p)))
         .collect();
-    let records = shapes
+    let records: Vec<TuningRecord> = shapes
         .into_par_iter()
         .flat_map_iter(|(n, p)| {
             let bases = measure_sweep(
@@ -160,6 +165,7 @@ pub fn generate_cluster(
                 .map(move |(base, m)| finish_cell(entry, collective, n, p, m, base, cfg))
         })
         .collect();
+    DATAGEN_CELLS.add(records.len() as u64);
     Ok(records)
 }
 

@@ -9,8 +9,14 @@
 
 use crate::algo::Algorithm;
 use crate::exec::sim;
+use pml_obs::Counter;
 use pml_simnet::{CostModel, JobLayout, NodeSpec, NoiseModel};
 use rand::Rng;
+
+/// Message-size sweeps simulated (one per (shape, collective) pair).
+static MEASURE_SWEEPS: Counter = Counter::new("measure.sweeps");
+/// Individual (algorithm, message size) points simulated.
+static MEASURE_POINTS: Counter = Counter::new("measure.points");
 
 /// One micro-benchmark point: a collective algorithm at a job shape and
 /// message size.
@@ -45,6 +51,8 @@ pub fn measure_sweep(
     let p = layout.world_size();
     let cost = CostModel::new(node.clone(), layout.ppn);
     let algos = Algorithm::applicable_for(collective, p);
+    MEASURE_SWEEPS.inc();
+    MEASURE_POINTS.add((algos.len() * msg_sizes.len()) as u64);
     let mut out = vec![Vec::with_capacity(algos.len()); msg_sizes.len()];
     for algo in algos {
         if algo.scale_invariant() {

@@ -18,8 +18,14 @@ use crate::tuner::Tuner;
 use crate::tuning_table::{TableStore, TuningTable};
 use pml_clusters::{generate_full, load_or_generate, ClusterEntry, DatagenConfig, TuningRecord};
 use pml_collectives::{Algorithm, Collective};
+use pml_obs::{span, Counter, Event};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+
+static DATASET_CACHE_HIT: Counter = Counter::new("engine.dataset.cache.hit");
+static DATASET_CACHE_MISS: Counter = Counter::new("engine.dataset.cache.miss");
+static TABLE_HIT: Counter = Counter::new("engine.table.hit");
+static TABLE_MISS: Counter = Counter::new("engine.table.miss");
 
 /// Engine settings: how to benchmark, how to train, where to cache.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +53,9 @@ pub struct SelectionEngine {
     cfg: EngineConfig,
     models: BTreeMap<Collective, PretrainedModel>,
     store: TableStore,
+    /// Structured diagnostics, with [`SelectionEngine::warnings`] as the
+    /// rendered compatibility view.
+    events: Vec<Event>,
     warnings: Vec<String>,
 }
 
@@ -64,8 +73,16 @@ impl SelectionEngine {
             cfg,
             models: BTreeMap::new(),
             store: TableStore::new(),
+            events: Vec::new(),
             warnings: Vec::new(),
         }
+    }
+
+    /// Record a structured diagnostic (and its rendered message for the
+    /// `warnings()` compatibility view).
+    fn note(&mut self, ev: Event) {
+        self.warnings.push(ev.message.clone());
+        self.events.push(ev);
     }
 
     pub fn clusters(&self) -> &[ClusterEntry] {
@@ -81,28 +98,42 @@ impl SelectionEngine {
     }
 
     /// Non-fatal diagnostics accumulated so far (e.g. a corrupt dataset
-    /// cache that was regenerated).
+    /// cache that was regenerated) — the rendered view of [`Self::events`].
     pub fn warnings(&self) -> &[String] {
         &self.warnings
+    }
+
+    /// Structured diagnostics accumulated so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
     }
 
     /// The micro-benchmark dataset for one collective — from the on-disk
     /// cache when configured and valid, regenerated otherwise.
     pub fn dataset(&mut self, collective: Collective) -> Result<Vec<TuningRecord>, PmlError> {
+        let _span = span!("datagen", collective = collective.name());
         match &self.cfg.cache_dir {
             Some(dir) => {
                 let path = dir.join(dataset_file(collective));
                 let load = load_or_generate(&path, &self.clusters, collective, &self.cfg.datagen)?;
-                if let Some(w) = load.warning {
-                    self.warnings.push(w);
+                if load.cached {
+                    DATASET_CACHE_HIT.inc();
+                } else {
+                    DATASET_CACHE_MISS.inc();
+                }
+                for ev in load.events {
+                    self.note(ev);
                 }
                 Ok(load.records)
             }
-            None => Ok(generate_full(
-                &self.clusters,
-                collective,
-                &self.cfg.datagen,
-            )?),
+            None => {
+                DATASET_CACHE_MISS.inc();
+                Ok(generate_full(
+                    &self.clusters,
+                    collective,
+                    &self.cfg.datagen,
+                )?)
+            }
         }
     }
 
@@ -110,6 +141,7 @@ impl SelectionEngine {
     pub fn train(&mut self, collective: Collective) -> Result<&PretrainedModel, PmlError> {
         if !self.models.contains_key(&collective) {
             let records = self.dataset(collective)?;
+            let _span = span!("train", collective = collective.name());
             let model = PretrainedModel::train(&records, collective, &self.cfg.train)?;
             self.models.insert(collective, model);
         }
@@ -136,10 +168,14 @@ impl SelectionEngine {
         collective: Collective,
     ) -> Result<&TuningTable, PmlError> {
         if self.store.get(cluster, collective).is_none() {
+            TABLE_MISS.inc();
             let entry = self.entry(cluster)?.clone();
             self.train(collective)?;
+            let _span = span!("table", cluster = cluster, collective = collective.name());
             let table = self.models[&collective].generate_tuning_table(&entry)?;
             self.store.put(table);
+        } else {
+            TABLE_HIT.inc();
         }
         self.store
             .get(cluster, collective)

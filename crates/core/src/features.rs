@@ -13,7 +13,11 @@ use crate::selectors::JobConfig;
 use pml_clusters::TuningRecord;
 use pml_collectives::Collective;
 use pml_mlcore::{Dataset, Matrix};
+use pml_obs::Counter;
 use pml_simnet::NodeSpec;
+
+/// Tuning records converted into dataset rows across this process.
+static DATASET_RECORDS: Counter = Counter::new("dataset.records");
 
 /// Number of features (3 MPI + 11 hardware).
 pub const N_FEATURES: usize = 14;
@@ -92,6 +96,7 @@ pub fn records_to_dataset(
         rows.push(extract(&entry.spec.node, r.nodes, r.ppn, r.msg_size));
         labels.push(r.best.index());
     }
+    DATASET_RECORDS.add(labels.len() as u64);
     // An all-filtered record set must still carry the 14-column shape.
     let x = if rows.is_empty() {
         Matrix::zeros(0, N_FEATURES)

@@ -41,7 +41,7 @@ pub use selectors::{
     applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault, OpenMpiDefault,
     OracleSelector, RandomSelector,
 };
-pub use tuner::Tuner;
+pub use tuner::{FallbackDepth, Tuner};
 pub use tuning_table::{TableEntry, TableStore, TuningTable};
 pub use verify::{
     verify_artifact_file, verify_artifact_str, verify_model, verify_model_json, verify_table,

@@ -11,14 +11,44 @@ use crate::error::PmlError;
 use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault};
 use crate::tuning_table::TuningTable;
 use pml_collectives::{Algorithm, Collective};
+use pml_obs::{Counter, Histogram};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
+
+static CACHE_HIT: Counter = Counter::new("tuner.cache.hit");
+static CACHE_MISS: Counter = Counter::new("tuner.cache.miss");
+/// How far each (uncached) lookup strayed from the pre-computed table —
+/// bucketed by [`FallbackDepth`] (0 exact … 3 default rules).
+static FALLBACK_DEPTH: Histogram = Histogram::new("table.fallback.depth", &[0, 1, 2, 3]);
+
+/// How a [`Tuner::select`] decision was reached, from best to worst:
+/// the lower the depth, the more the pre-trained table was trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FallbackDepth {
+    /// The queried (nodes, ppn, msg) was an exact grid cell and its
+    /// algorithm applied as-is.
+    Exact = 0,
+    /// Off-grid query resolved to the nearest table bucket.
+    NearestBucket = 1,
+    /// The table's recommendation was inapplicable at this world size and
+    /// a fallback algorithm was substituted.
+    Substituted = 2,
+    /// No table covers the collective (or no applicable algorithm was
+    /// found): the library's static default rules decided.
+    DefaultRules = 3,
+}
+
+impl FallbackDepth {
+    pub fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
 
 /// Memoized decisions plus hit/miss counters, under one lock.
 #[derive(Debug, Default)]
 struct SelectCache {
-    /// (collective, nodes, ppn, msg) → algorithm.
-    map: BTreeMap<(Collective, u32, u32, usize), Algorithm>,
+    /// (collective, nodes, ppn, msg) → (algorithm, fallback depth).
+    map: BTreeMap<(Collective, u32, u32, usize), (Algorithm, FallbackDepth)>,
     hits: u64,
     misses: u64,
 }
@@ -92,24 +122,53 @@ impl Tuner {
 
     /// Pick the algorithm for one collective call.
     pub fn select(&self, collective: Collective, job: JobConfig) -> Algorithm {
+        self.select_traced(collective, job).0
+    }
+
+    /// Like [`Tuner::select`], but also report how the decision was reached.
+    /// The depth is recorded in the `table.fallback.depth` histogram only on
+    /// memo-cache misses (a cached hit repeats an already-counted decision);
+    /// the returned depth is accurate either way.
+    pub fn select_traced(
+        &self,
+        collective: Collective,
+        job: JobConfig,
+    ) -> (Algorithm, FallbackDepth) {
         let key = (collective, job.nodes, job.ppn, job.msg_size);
         {
             let mut c = self.cache();
-            if let Some(&a) = c.map.get(&key) {
+            if let Some(&(a, depth)) = c.map.get(&key) {
                 c.hits += 1;
-                return a;
+                CACHE_HIT.inc();
+                return (a, depth);
             }
             c.misses += 1;
+            CACHE_MISS.inc();
         }
-        let chosen = self
-            .tables
-            .get(&collective)
-            .and_then(|t| t.lookup(job.nodes, job.ppn, job.msg_size as u64))
-            .map(|a| applicable_or_fallback(a, job.world_size()))
-            .filter(|a| a.supports(job.world_size()))
-            .unwrap_or_else(|| MvapichDefault.select(collective, job));
-        self.cache().map.insert(key, chosen);
-        chosen
+        let world = job.world_size();
+        let mut depth = FallbackDepth::DefaultRules;
+        let mut chosen = None;
+        if let Some(t) = self.tables.get(&collective) {
+            let exact = t.get(job.nodes, job.ppn, job.msg_size as u64);
+            let raw = exact.or_else(|| t.lookup(job.nodes, job.ppn, job.msg_size as u64));
+            if let Some(a) = raw {
+                let applied = applicable_or_fallback(a, world);
+                if applied.supports(world) {
+                    depth = if applied != a {
+                        FallbackDepth::Substituted
+                    } else if exact.is_some() {
+                        FallbackDepth::Exact
+                    } else {
+                        FallbackDepth::NearestBucket
+                    };
+                    chosen = Some(applied);
+                }
+            }
+        }
+        let chosen = chosen.unwrap_or_else(|| MvapichDefault.select(collective, job));
+        FALLBACK_DEPTH.observe(depth.as_u64());
+        self.cache().map.insert(key, (chosen, depth));
+        (chosen, depth)
     }
 }
 
@@ -192,5 +251,46 @@ mod tests {
         let tuner = Tuner::new([table()]);
         let a = tuner.select(Collective::Alltoall, JobConfig::new(2, 8, 100));
         assert_eq!(a, Algorithm::Alltoall(AlltoallAlgo::Bruck));
+    }
+
+    /// An exact grid-cell hit must report fallback depth 0 — the regression
+    /// guard for the `table.fallback.depth` metric's base case.
+    #[test]
+    fn exact_cell_hits_have_zero_fallback_depth() {
+        let tuner = Tuner::new([table()]);
+        let job = JobConfig::new(2, 8, 64);
+        let (a, depth) = tuner.select_traced(Collective::Alltoall, job);
+        assert_eq!(a, Algorithm::Alltoall(AlltoallAlgo::Bruck));
+        assert_eq!(depth, FallbackDepth::Exact);
+        assert_eq!(depth.as_u64(), 0);
+        // A memoized repeat reports the same depth.
+        assert_eq!(
+            tuner.select_traced(Collective::Alltoall, job),
+            (a, FallbackDepth::Exact)
+        );
+    }
+
+    #[test]
+    fn fallback_depth_grades_by_distance_from_the_table() {
+        let tuner = Tuner::new([table()]);
+        // Off-grid message size → nearest bucket.
+        let (_, d) = tuner.select_traced(Collective::Alltoall, JobConfig::new(2, 8, 100));
+        assert_eq!(d, FallbackDepth::NearestBucket);
+        // No table for the collective → default rules.
+        let (_, d) = tuner.select_traced(Collective::Allgather, JobConfig::new(2, 8, 64));
+        assert_eq!(d, FallbackDepth::DefaultRules);
+        // Inapplicable recommendation → substituted fallback.
+        let mut t = TuningTable::new("X", Collective::Alltoall);
+        t.insert(
+            3,
+            2,
+            64,
+            Algorithm::Alltoall(AlltoallAlgo::RecursiveDoubling),
+        )
+        .unwrap();
+        let tuner = Tuner::new([t]);
+        let (a, d) = tuner.select_traced(Collective::Alltoall, JobConfig::new(3, 2, 64));
+        assert_eq!(d, FallbackDepth::Substituted);
+        assert!(a.supports(6));
     }
 }

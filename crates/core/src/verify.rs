@@ -32,8 +32,14 @@ use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig, Mva
 use crate::tuning_table::TuningTable;
 use pml_collectives::{Algorithm, Collective};
 use pml_mlcore::{BinnedMatrix, ForestIssue, StructureIssue};
+use pml_obs::Counter;
 use std::fmt;
 use std::path::Path;
+
+/// Artifacts rejected by the structural verifier (any entry point).
+static VERIFY_ERRORS: Counter = Counter::new("verify.errors");
+/// Artifacts accepted by the structural verifier (any entry point).
+static VERIFY_PASSED: Counter = Counter::new("verify.passed");
 
 /// What kind of artifact a verified file turned out to hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -346,21 +352,29 @@ pub fn verify_binned_json(s: &str) -> Result<BinnedMatrix, VerifyErrorKind> {
 /// Sniff the artifact kind from the document's top-level keys and run the
 /// matching verifier — the engine behind `pml verify <path>`.
 pub fn verify_artifact_str(s: &str) -> Result<ArtifactKind, VerifyErrorKind> {
-    let value: serde_json::JsonValue =
-        serde_json::from_str(s).map_err(|e| VerifyErrorKind::Malformed(e.to_string()))?;
-    let Some(pairs) = value.as_object() else {
-        return Err(VerifyErrorKind::UnrecognizedArtifact);
+    let sniff = || -> Result<ArtifactKind, VerifyErrorKind> {
+        let value: serde_json::JsonValue =
+            serde_json::from_str(s).map_err(|e| VerifyErrorKind::Malformed(e.to_string()))?;
+        let Some(pairs) = value.as_object() else {
+            return Err(VerifyErrorKind::UnrecognizedArtifact);
+        };
+        let has = |key: &str| pairs.iter().any(|(k, _)| k == key);
+        if has("forest") && has("collective") {
+            verify_model_json(s).map(|_| ArtifactKind::Model)
+        } else if has("entries") && has("cluster") {
+            verify_table_json(s).map(|_| ArtifactKind::TuningTable)
+        } else if has("codes") && has("edges") {
+            verify_binned_json(s).map(|_| ArtifactKind::BinnedMatrix)
+        } else {
+            Err(VerifyErrorKind::UnrecognizedArtifact)
+        }
     };
-    let has = |key: &str| pairs.iter().any(|(k, _)| k == key);
-    if has("forest") && has("collective") {
-        verify_model_json(s).map(|_| ArtifactKind::Model)
-    } else if has("entries") && has("cluster") {
-        verify_table_json(s).map(|_| ArtifactKind::TuningTable)
-    } else if has("codes") && has("edges") {
-        verify_binned_json(s).map(|_| ArtifactKind::BinnedMatrix)
-    } else {
-        Err(VerifyErrorKind::UnrecognizedArtifact)
+    let out = sniff();
+    match &out {
+        Ok(_) => VERIFY_PASSED.inc(),
+        Err(_) => VERIFY_ERRORS.inc(),
     }
+    out
 }
 
 /// Read, sniff, and verify an artifact file, locating any failure at its

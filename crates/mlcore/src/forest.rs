@@ -13,10 +13,16 @@ use crate::error::{validate_fit, MlError};
 use crate::matrix::Matrix;
 use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeParams, TreeScratch};
 use crate::verify::{ForestIssue, ForestLoadError, StructureIssue};
+use pml_obs::{span, Counter, Histogram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Trees fitted across every forest trained in this process.
+static TRAIN_TREES: Counter = Counter::new("train.trees");
+/// Node count per fitted tree.
+static TRAIN_TREE_NODES: Histogram = Histogram::new("train.tree.nodes", &pml_obs::SIZE_BOUNDS);
 
 /// Rows per parallel work unit in the batched inference kernels, and trees
 /// per work unit in the OOB pass. Fixed (not derived from thread count) so
@@ -288,11 +294,15 @@ impl Classifier for RandomForest {
             }
         };
 
+        let _span = span!("fit.forest", trees = self.params.n_estimators, rows = n);
         let fitted: Vec<(DecisionTree, Vec<u32>)> = match self.params.split_finder {
             SplitFinder::Hist { max_bins } => {
                 // Bin once; every tree trains over index slices into the
                 // shared binned matrix — no per-tree row materialization.
-                let binned = BinnedMatrix::from_matrix(x, max_bins);
+                let binned = {
+                    let _span = span!("fit.bin", rows = n, cols = x.cols());
+                    BinnedMatrix::from_matrix(x, max_bins)
+                };
                 seeds
                     .par_iter()
                     .map_init(TreeScratch::default, |scratch, &seed| {
@@ -331,7 +341,13 @@ impl Classifier for RandomForest {
         // Fixed-size tree chunks fan out over rayon (one in-bag buffer per
         // worker); partial votes merge back in chunk order so the float
         // summation order never depends on thread count.
+        TRAIN_TREES.add(fitted.len() as u64);
+        for (tree, _) in &fitted {
+            TRAIN_TREE_NODES.observe(tree.node_count() as u64);
+        }
+
         self.oob_score = if bootstrap {
+            let _span = span!("fit.oob", trees = fitted.len());
             let chunks: Vec<&[(DecisionTree, Vec<u32>)]> = fitted.chunks(OOB_CHUNK).collect();
             let partials: Vec<(Vec<f64>, Vec<bool>)> = chunks
                 .par_iter()

@@ -1,0 +1,265 @@
+//! JSON export of metrics snapshots and span aggregates — the payload
+//! behind `--metrics-out`.
+//!
+//! Rendering is hand-rolled (this crate takes no dependencies): metric
+//! names are the only strings that need escaping, and all values are
+//! unsigned integers. Maps come from `BTreeMap`s, so key order — and
+//! therefore the whole document — is deterministic for a given snapshot.
+//!
+//! Schema (`"schema": "pml-obs/v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "pml-obs/v1",
+//!   "metrics_total": 12,
+//!   "counters": {"tuner.cache.hit": 3},
+//!   "gauges": {"train.model.features": 5},
+//!   "histograms": {
+//!     "table.fallback.depth": {
+//!       "bounds": [0, 1, 2, 3],
+//!       "counts": [10, 2, 0, 1],
+//!       "overflow": 0, "sum": 5, "count": 13
+//!     }
+//!   },
+//!   "spans": [
+//!     {"name": "table", "count": 1, "total_ns": 52000, "self_ns": 1000}
+//!   ]
+//! }
+//! ```
+//!
+//! The `spans` section is present only when a [`SpanForest`] is supplied
+//! (tracing was enabled for the run).
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::SpanForest;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).ok();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_u64_list(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{v}").ok();
+    }
+    out.push(']');
+}
+
+/// Render a metrics snapshot (and optional span aggregates) as the
+/// `pml-obs/v1` JSON document.
+pub fn metrics_json(snapshot: &MetricsSnapshot, spans: Option<&SpanForest>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": \"pml-obs/v1\",").ok();
+    writeln!(out, "  \"metrics_total\": {},", snapshot.total_metrics()).ok();
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        let sep = if i > 0 { "," } else { "" };
+        write!(out, "{sep}\n    \"{}\": {v}", escape(name)).ok();
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, v)) in snapshot.gauges.iter().enumerate() {
+        let sep = if i > 0 { "," } else { "" };
+        write!(out, "{sep}\n    \"{}\": {v}", escape(name)).ok();
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        let sep = if i > 0 { "," } else { "" };
+        write!(out, "{sep}\n    \"{}\": {{\"bounds\": ", escape(name)).ok();
+        write_u64_list(&mut out, &h.bounds);
+        out.push_str(", \"counts\": ");
+        write_u64_list(&mut out, &h.counts);
+        write!(
+            out,
+            ", \"overflow\": {}, \"sum\": {}, \"count\": {}}}",
+            h.overflow, h.sum, h.count
+        )
+        .ok();
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+
+    if let Some(forest) = spans {
+        out.push_str(",\n  \"spans\": [");
+        for (i, (name, stats)) in forest.aggregate().iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            write!(
+                out,
+                "{sep}\n    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"self_ns\": {}}}",
+                escape(name),
+                stats.count,
+                stats.total_nanos,
+                stats.self_nanos
+            )
+            .ok();
+        }
+        if !forest.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+    }
+
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+    use crate::trace::{SpanForest, SpanRecord};
+
+    // The vendored serde `Value` has no `Index` impls; look keys up in the
+    // object's pair list directly.
+    fn get<'a>(v: &'a serde_json::JsonValue, key: &str) -> &'a serde_json::JsonValue {
+        v.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key))
+            .map(|(_, val)| val)
+            .unwrap_or_else(|| panic!("missing key `{key}`"))
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("tuner.cache.hit".into(), 3);
+        snap.counters.insert("tuner.cache.miss".into(), 1);
+        snap.gauges.insert("train.model.features".into(), 5);
+        snap.histograms.insert(
+            "table.fallback.depth".into(),
+            HistogramSnapshot {
+                bounds: vec![0, 1, 2, 3],
+                counts: vec![10, 2, 0, 1],
+                overflow: 0,
+                sum: 5,
+                count: 13,
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain.name"), "plain.name");
+    }
+
+    /// Schema round-trip: render → parse with serde_json → rebuild the
+    /// snapshot → equal. Guards both JSON validity and field fidelity.
+    #[test]
+    fn metrics_json_roundtrips_through_serde() {
+        let snap = sample_snapshot();
+        let json = metrics_json(&snap, None);
+        let v: serde_json::JsonValue = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(get(&v, "schema").as_str(), Some("pml-obs/v1"));
+        assert_eq!(get(&v, "metrics_total").as_u64(), Some(4));
+
+        let mut back = MetricsSnapshot::default();
+        for (k, val) in get(&v, "counters").as_object().expect("counters object") {
+            back.counters
+                .insert(k.clone(), val.as_u64().expect("counter u64"));
+        }
+        for (k, val) in get(&v, "gauges").as_object().expect("gauges object") {
+            back.gauges
+                .insert(k.clone(), val.as_u64().expect("gauge u64"));
+        }
+        for (k, h) in get(&v, "histograms")
+            .as_object()
+            .expect("histograms object")
+        {
+            let nums = |field: &str| -> Vec<u64> {
+                get(h, field)
+                    .as_array()
+                    .expect("array")
+                    .iter()
+                    .map(|x| x.as_u64().expect("u64"))
+                    .collect()
+            };
+            back.histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    bounds: nums("bounds"),
+                    counts: nums("counts"),
+                    overflow: get(h, "overflow").as_u64().expect("overflow"),
+                    sum: get(h, "sum").as_u64().expect("sum"),
+                    count: get(h, "count").as_u64().expect("count"),
+                },
+            );
+        }
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn span_section_appears_only_with_a_forest() {
+        let snap = sample_snapshot();
+        assert!(!metrics_json(&snap, None).contains("\"spans\""));
+
+        let forest = SpanForest::from_records(vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "table",
+                fields: vec![],
+                start_nanos: 0,
+                end_nanos: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "train",
+                fields: vec![],
+                start_nanos: 10,
+                end_nanos: 60,
+            },
+        ]);
+        let json = metrics_json(&snap, Some(&forest));
+        let v: serde_json::JsonValue = serde_json::from_str(&json).expect("valid JSON");
+        let spans = get(&v, "spans").as_array().expect("spans array");
+        assert_eq!(spans.len(), 2);
+        let table = spans
+            .iter()
+            .find(|s| get(s, "name").as_str() == Some("table"))
+            .expect("table");
+        assert_eq!(get(table, "total_ns").as_u64(), Some(100));
+        assert_eq!(get(table, "self_ns").as_u64(), Some(50));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let json = metrics_json(&MetricsSnapshot::default(), None);
+        let v: serde_json::JsonValue = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(get(&v, "metrics_total").as_u64(), Some(0));
+        assert!(get(&v, "counters").as_object().expect("obj").is_empty());
+    }
+}

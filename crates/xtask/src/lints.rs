@@ -111,6 +111,10 @@ pub struct LintConfig {
     /// Path prefixes (repo-relative) where the determinism lints run
     /// (`nondeterminism` and `float-reduction-order`).
     pub determinism_scope: Vec<String>,
+    /// Exact paths carved out of `determinism_scope`: the designated
+    /// wall-clock sites (a `Clock` implementation reads `Instant::now`
+    /// somewhere, exactly once, behind the trait).
+    pub determinism_exempt: Vec<String>,
     /// Files where every `match` is algorithm dispatch (the enum registry).
     pub dispatch_all_matches: Vec<String>,
     /// Files where a `match` counts as dispatch when its scrutinee
@@ -130,7 +134,9 @@ impl LintConfig {
                 "crates/core/src/tuning_table.rs".into(),
                 "crates/core/src/tuner.rs".into(),
                 "crates/core/src/pipeline.rs".into(),
+                "crates/obs/src/".into(),
             ],
+            determinism_exempt: vec!["crates/obs/src/clock.rs".into()],
             dispatch_all_matches: vec!["crates/collectives/src/algo.rs".into()],
             dispatch_scope: vec![
                 "crates/core/src/selectors.rs".into(),
@@ -152,7 +158,8 @@ pub fn lint_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
     forbidden_panic(rel, &masked, &tokens, &mut out);
     unchecked_indexing(rel, &masked, &tokens, &mut out);
     swallowed_result(rel, &masked, &tokens, &mut out);
-    if cfg.determinism_scope.iter().any(|p| rel.starts_with(p)) {
+    let determinism_exempt = cfg.determinism_exempt.iter().any(|p| rel == p);
+    if !determinism_exempt && cfg.determinism_scope.iter().any(|p| rel.starts_with(p)) {
         nondeterminism(rel, &masked, &tokens, &mut out);
         float_reduction_order(rel, &masked, &tokens, &mut out);
     }

@@ -28,6 +28,7 @@ fn fixture_config() -> LintConfig {
             "bad/float_reduction.rs".into(),
             "clean/".into(),
         ],
+        determinism_exempt: vec![],
         dispatch_all_matches: vec![],
         dispatch_scope: vec!["bad/wildcard_dispatch.rs".into(), "clean/".into()],
         cast_scope: vec!["bad/cast_truncation.rs".into(), "clean/".into()],
@@ -103,6 +104,39 @@ fn out_of_scope_file_skips_path_scoped_lints() {
         &fixture_config(),
     );
     assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn determinism_exemption_carves_out_the_designated_clock_file() {
+    let mut cfg = fixture_config();
+    cfg.determinism_scope.push("designated/".into());
+    cfg.determinism_exempt.push("designated/clock.rs".into());
+    // In scope, not exempt: the nondeterminism lint fires.
+    let vs = lint_file(
+        "designated/other.rs",
+        &fixture("bad/entropy_in_datagen.rs"),
+        &cfg,
+    );
+    assert!(
+        vs.iter().any(|v| v.lint == LintKind::Nondeterminism),
+        "{vs:?}"
+    );
+    // The designated clock file: determinism lints skip it, but nothing
+    // else does — the exemption is per-lint-family, not a blanket pass.
+    let vs = lint_file(
+        "designated/clock.rs",
+        &fixture("bad/entropy_in_datagen.rs"),
+        &cfg,
+    );
+    assert!(
+        vs.iter().all(|v| v.lint != LintKind::Nondeterminism),
+        "{vs:?}"
+    );
+    let vs = lint_file("designated/clock.rs", &fixture("bad/stray_unwrap.rs"), &cfg);
+    assert!(
+        vs.iter().any(|v| v.lint == LintKind::ForbiddenPanic),
+        "{vs:?}"
+    );
 }
 
 #[test]

@@ -41,5 +41,24 @@ rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
   }
 ' > "$out"
 
+# Stage-level timings: merge the pml-obs metrics document from a traced
+# tuning-table run in as "stage_metrics", so the perf point records where
+# the pipeline spends its time, not just the headline ratios.
+metrics=$(mktemp)
+cargo build --release --bin pml-mpi >/dev/null 2>&1
+if target/release/pml-mpi table RI alltoall \
+    --out /dev/null --metrics-out "$metrics" >/dev/null 2>&1 && [[ -s "$metrics" ]]; then
+    head -n -1 "$out" > "$out.tmp"
+    {
+        printf '  ,"stage_metrics":\n'
+        cat "$metrics"
+        printf '}\n'
+    } >> "$out.tmp"
+    mv "$out.tmp" "$out"
+else
+    echo "warning: stage metrics unavailable, writing benches only" >&2
+fi
+rm -f "$metrics"
+
 echo "wrote $out"
 cat "$out"

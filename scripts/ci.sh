@@ -35,6 +35,9 @@ cargo xtask verify-artifacts
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> obs-determinism lane"
+./scripts/obs_determinism.sh
+
 echo "==> cargo bench -- --test (smoke: each bench runs once)"
 cargo bench -p pml-bench -- --test
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# obs-determinism lane: observability must be write-only. The same tuning
+# table is generated twice — once with `--trace --metrics-out`, once bare —
+# and the two JSON artifacts must be byte-identical. The lane also sanity-
+# checks the observability outputs themselves: the span tree covers the
+# datagen → train → table pipeline stages and the metrics document carries
+# at least ten distinct metrics.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=target/release/pml-mpi
+if [[ ! -x "$bin" ]]; then
+    echo "==> cargo build --release --bin pml-mpi"
+    cargo build --release --bin pml-mpi
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> pml-mpi table RI alltoall --trace --metrics-out"
+"$bin" table RI alltoall --out "$tmp/traced.json" \
+    --trace --metrics-out "$tmp/metrics.json" 2>"$tmp/trace.txt"
+
+echo "==> pml-mpi table RI alltoall (bare)"
+"$bin" table RI alltoall --out "$tmp/bare.json" 2>/dev/null
+
+echo "==> tuning tables byte-identical"
+cmp "$tmp/traced.json" "$tmp/bare.json"
+
+echo "==> span tree covers the pipeline stages"
+for stage in datagen train table; do
+    if ! grep -q "$stage" "$tmp/trace.txt"; then
+        echo "FAIL: span tree missing stage '$stage':" >&2
+        cat "$tmp/trace.txt" >&2
+        exit 1
+    fi
+done
+
+echo "==> metrics document carries >= 10 metrics"
+total=$(grep -o '"metrics_total": [0-9]*' "$tmp/metrics.json" | grep -o '[0-9]*$')
+if [[ -z "$total" || "$total" -lt 10 ]]; then
+    echo "FAIL: expected >= 10 metrics, got '${total:-none}':" >&2
+    cat "$tmp/metrics.json" >&2
+    exit 1
+fi
+
+echo "obs-determinism lane passed ($total metrics)."

@@ -15,6 +15,8 @@
 //!   generation;
 //! - [`core`] — feature extraction, training pipeline, selectors, tuning
 //!   tables, and the [`SelectionEngine`] facade;
+//! - [`obs`] — structured tracing, the metrics registry, and the leveled
+//!   event sink behind `--trace` / `--metrics-out`;
 //! - [`apps`] — mini-app communication patterns used for end-to-end
 //!   evaluation.
 //!
@@ -40,15 +42,16 @@ pub use pml_clusters as clusters;
 pub use pml_collectives as collectives;
 pub use pml_core as core;
 pub use pml_mlcore as mlcore;
+pub use pml_obs as obs;
 pub use pml_simnet as simnet;
 
 // The flat API: the types a typical consumer touches, one import away.
 pub use pml_clusters::{by_name, zoo, ClusterEntry, DatagenConfig, TuningRecord};
 pub use pml_collectives::{Algorithm, Collective};
 pub use pml_core::{
-    applicable_or_fallback, detect_node, AlgorithmSelector, ArtifactKind, EngineConfig, JobConfig,
-    MlSelector, MvapichDefault, OpenMpiDefault, OracleSelector, PmlError, PretrainedModel,
-    RandomSelector, SelectionEngine, TableStore, TrainConfig, Tuner, TuningTable, VerifyError,
-    VerifyErrorKind, FEATURE_NAMES,
+    applicable_or_fallback, detect_node, AlgorithmSelector, ArtifactKind, EngineConfig,
+    FallbackDepth, JobConfig, MlSelector, MvapichDefault, OpenMpiDefault, OracleSelector, PmlError,
+    PretrainedModel, RandomSelector, SelectionEngine, TableStore, TrainConfig, Tuner, TuningTable,
+    VerifyError, VerifyErrorKind, FEATURE_NAMES,
 };
 pub use pml_simnet::NodeSpec;

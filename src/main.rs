@@ -1,6 +1,6 @@
 //! `pml-mpi` — command-line front end for the selection framework.
 //!
-//! Seven subcommands cover the offline → online lifecycle:
+//! Eight subcommands cover the offline → online lifecycle:
 //!
 //! ```text
 //! zoo       list the 18-cluster benchmark zoo
@@ -10,7 +10,15 @@
 //! table     emit the JSON tuning table for a (cluster, collective)
 //! compare   ML pick vs library defaults vs oracle over a message sweep
 //! verify    statically verify model / tuning-table artifacts
+//! stats     run a small pipeline and dump spans, metrics, and events
 //! ```
+//!
+//! Two global options work on every subcommand: `--trace` renders the span
+//! tree (per-stage total/self times) to stderr after the command finishes,
+//! and `--metrics-out FILE` writes the `pml-obs/v1` metrics JSON document.
+//! Both are observability-only: the tracer is enabled here at the CLI edge
+//! with a monotonic clock, and artifacts stay byte-identical with or
+//! without them (the `obs-determinism` CI lane holds that line).
 //!
 //! Argument parsing is hand rolled (the build is offline — no clap); every
 //! user error surfaces as a message on stderr and exit code 1, never a
@@ -18,18 +26,34 @@
 
 use pml_mpi::clusters::measure_cell;
 use pml_mpi::core::{parse_ibstat, parse_lscpu, parse_lspci_link};
+use pml_mpi::obs;
+use pml_mpi::obs::span;
 use pml_mpi::simnet::{InterconnectSpec, PcieVersion};
 use pml_mpi::{
     by_name, Algorithm, AlgorithmSelector, Collective, EngineConfig, JobConfig, MvapichDefault,
-    NodeSpec, OpenMpiDefault, PretrainedModel, SelectionEngine, FEATURE_NAMES,
+    NodeSpec, OpenMpiDefault, PretrainedModel, SelectionEngine, Tuner, FEATURE_NAMES,
 };
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::path::{Path, PathBuf};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Err(e) = run(&args) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, obs_opts) = match extract_obs_opts(&raw) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    // `stats` is the observability showcase: it always traces, flags or not.
+    let stats_run = args.first().is_some_and(|a| a == "stats");
+    if obs_opts.enabled() || stats_run {
+        obs::tracer().enable(std::sync::Arc::new(obs::MonotonicClock::new()));
+    }
+    let result = run(&args);
+    finish_obs(&obs_opts, stats_run);
+    if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
@@ -41,14 +65,100 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
             print_help();
             Ok(())
         }
-        Some("zoo") => cmd_zoo(),
-        Some("dataset") => cmd_dataset(&args[1..]),
-        Some("train") => cmd_train(&args[1..]),
-        Some("predict") => cmd_predict(&args[1..]),
-        Some("table") => cmd_table(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
-        Some("verify") => cmd_verify(&args[1..]),
+        Some("zoo") => {
+            let _span = span!("cmd.zoo");
+            cmd_zoo()
+        }
+        Some("dataset") => {
+            let _span = span!("cmd.dataset");
+            cmd_dataset(&args[1..])
+        }
+        Some("train") => {
+            let _span = span!("cmd.train");
+            cmd_train(&args[1..])
+        }
+        Some("predict") => {
+            let _span = span!("cmd.predict");
+            cmd_predict(&args[1..])
+        }
+        Some("table") => {
+            let _span = span!("cmd.table");
+            cmd_table(&args[1..])
+        }
+        Some("compare") => {
+            let _span = span!("cmd.compare");
+            cmd_compare(&args[1..])
+        }
+        Some("verify") => {
+            let _span = span!("cmd.verify");
+            cmd_verify(&args[1..])
+        }
+        Some("stats") => {
+            let _span = span!("cmd.stats");
+            cmd_stats(&args[1..])
+        }
         Some(other) => Err(format!("unknown subcommand {other:?} — run `pml-mpi help`").into()),
+    }
+}
+
+/// Global observability flags, stripped before subcommand dispatch so the
+/// per-subcommand parsers never see them.
+struct ObsOpts {
+    trace: bool,
+    metrics_out: Option<String>,
+}
+
+impl ObsOpts {
+    fn enabled(&self) -> bool {
+        self.trace || self.metrics_out.is_some()
+    }
+}
+
+/// Split `--trace` / `--metrics-out FILE` (or `--metrics-out=FILE`) out of
+/// the raw argument list; everything else passes through untouched.
+fn extract_obs_opts(args: &[String]) -> Result<(Vec<String>, ObsOpts), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut opts = ObsOpts {
+        trace: false,
+        metrics_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            opts.trace = true;
+        } else if a == "--metrics-out" {
+            let v = it
+                .next()
+                .cloned()
+                .ok_or_else(|| "--metrics-out needs a value".to_string())?;
+            opts.metrics_out = Some(v);
+        } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+            opts.metrics_out = Some(v.to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, opts))
+}
+
+/// After the subcommand returns (even on error): render the span tree to
+/// stderr (`--trace`, or always for `stats`) and write the metrics JSON
+/// (`--metrics-out`).
+fn finish_obs(opts: &ObsOpts, stats_run: bool) {
+    let tracer = obs::tracer();
+    if !tracer.is_enabled() {
+        return;
+    }
+    let forest = tracer.finish();
+    if (opts.trace || stats_run) && !forest.is_empty() {
+        eprint!("{}", forest.render());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let json = obs::metrics_json(&obs::metrics::snapshot(), Some(&forest));
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => eprintln!("error: writing {path}: {e}"),
+        }
     }
 }
 
@@ -67,12 +177,20 @@ SUBCOMMANDS:
   table <cluster> <collective>     emit a cluster's JSON tuning table
   compare <cluster> <collective>   ML vs library defaults vs oracle
   verify <FILE>...                 statically verify artifact files
+  stats [<collective>]             run a small pipeline, dump spans/metrics/events
   help                             show this message
+
+GLOBAL OPTIONS (any subcommand):
+  --trace              print the span tree (stage timings) to stderr on exit
+  --metrics-out FILE   write the pml-obs/v1 metrics JSON document to FILE
 
 COMMON OPTIONS:
   --cache-dir DIR   dataset cache directory (default: ./data when present)
   --no-cache        regenerate datasets in memory, ignore any cache
   --out FILE        write the command's JSON artifact to FILE
+
+STATS OPTIONS:
+  --cluster NAME    zoo cluster to pipeline (default: RI)
 
 PREDICT OPTIONS:
   --cluster NAME    use a zoo cluster's hardware
@@ -93,8 +211,10 @@ EXAMPLES:
   pml-mpi predict alltoall --lscpu examples/captures/lscpu_frontera.txt \\
       --ibstat examples/captures/ibstat_edr.txt --nodes 8 --ppn 56 --msg 65536
   pml-mpi table Frontera allgather --out frontera_allgather.json
+  pml-mpi table RI alltoall --trace --metrics-out metrics.json
   pml-mpi compare Frontera alltoall --nodes 16 --ppn 56
-  pml-mpi verify model_ag.json frontera_allgather.json"
+  pml-mpi verify model_ag.json frontera_allgather.json
+  pml-mpi stats alltoall --cluster RI"
     );
 }
 
@@ -489,5 +609,59 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
         )
         .into());
     }
+    Ok(())
+}
+
+/// Observability showcase: drive a small dataset → train → table → tuner
+/// pipeline and dump everything the instrumentation collected — drained
+/// events, the metrics registry, and (via `main`'s exit path) the span
+/// tree. Tracing is always on for this subcommand.
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["cache-dir", "cluster"], &["no-cache"])?;
+    let coll = match opts.positional.as_slice() {
+        [] => Collective::Alltoall,
+        [c] => parse_collective(c)?,
+        _ => return Err("usage: pml-mpi stats [<collective>] [--cluster NAME]".into()),
+    };
+    let cluster = opts.get("cluster").unwrap_or("RI");
+    let mut engine = build_engine(&opts);
+    let table = engine.tuning_table(cluster, coll)?.clone();
+
+    // Exercise the runtime path too: probe the fresh table on-grid (exact
+    // cell), repeated (memo hit), off-grid (nearest bucket), and at an odd
+    // shape, so the tuner counters and the fallback-depth histogram fill.
+    let tuner = Tuner::new([table.clone()]);
+    for &(nodes, ppn, msg) in &[(2u32, 4u32, 64usize), (2, 4, 64), (2, 4, 100), (3, 5, 777)] {
+        tuner.select(coll, JobConfig::new(nodes, ppn, msg));
+    }
+    let (hits, misses) = tuner.stats();
+    println!(
+        "{cluster} {coll}: {} table cells; tuner memo {hits} hit(s) / {misses} miss(es)",
+        table.len()
+    );
+
+    // Events the pipeline emitted (cache recoveries and the like) — the
+    // structured view behind `SelectionEngine::warnings()`.
+    let events = obs::events::drain();
+    println!("\nEVENTS ({}):", events.len());
+    for e in &events {
+        println!("  {e}");
+    }
+
+    let snap = obs::metrics::snapshot();
+    println!("\nMETRICS ({} total):", snap.total_metrics());
+    for (name, v) in &snap.counters {
+        println!("  counter    {name:<28} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        println!("  gauge      {name:<28} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        println!(
+            "  histogram  {name:<28} count {} sum {} overflow {}",
+            h.count, h.sum, h.overflow
+        );
+    }
+    eprintln!("\nspan tree (total/self times) follows on stderr:");
     Ok(())
 }

@@ -1,0 +1,79 @@
+//! Observability is write-only: spans, metrics, and events must never
+//! feed back into computation. The tuning table an engine produces has to
+//! be byte-identical whether tracing is enabled or not (the in-process
+//! twin of the `obs-determinism` CI lane), and one train → table flow must
+//! leave a well-populated metrics registry behind.
+
+mod common;
+
+use pml_mpi::obs;
+use pml_mpi::Collective;
+use std::sync::Arc;
+
+fn ri_alltoall_table_json() -> String {
+    let mut engine = common::mini_engine();
+    engine
+        .tuning_table("RI", Collective::Alltoall)
+        .expect("tuning table")
+        .to_json()
+        .expect("table serializes")
+}
+
+#[test]
+fn artifacts_are_byte_identical_with_observability_on_or_off() {
+    // First run: the global tracer starts disabled — every span is inert.
+    let bare = ri_alltoall_table_json();
+    // Second run: tracing on over a deterministic clock.
+    obs::tracer().enable(Arc::new(obs::FakeClock::with_step(1)));
+    let traced = ri_alltoall_table_json();
+    assert_eq!(
+        bare, traced,
+        "enabling tracing must not perturb the tuning-table artifact"
+    );
+    // The traced run actually produced the pipeline's stage spans. (Other
+    // tests in this binary may record spans concurrently once the global
+    // tracer is on; assert containment, not exact shape.)
+    let forest = obs::tracer().finish();
+    let agg = forest.aggregate();
+    for stage in ["datagen", "train", "table"] {
+        assert!(
+            agg.contains_key(stage),
+            "span tree missing stage {stage:?}; got {:?}",
+            agg.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn one_train_table_flow_populates_at_least_ten_metrics() {
+    let mut engine = common::mini_engine();
+    engine.train(Collective::Alltoall).expect("train");
+    engine
+        .tuning_table("RI", Collective::Alltoall)
+        .expect("tuning table");
+    let snap = obs::metrics::snapshot();
+    let names: Vec<&String> = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .collect();
+    assert!(
+        names.len() >= 10,
+        "expected >= 10 distinct metrics, got {}: {names:?}",
+        names.len()
+    );
+    for expected in [
+        "engine.table.miss",
+        "table.cells",
+        "table.generated",
+        "train.trees",
+    ] {
+        assert!(
+            snap.counters.contains_key(expected),
+            "missing counter {expected:?}: {names:?}"
+        );
+    }
+    assert!(snap.gauges.contains_key("train.model.features"));
+    assert!(snap.histograms.contains_key("train.tree.nodes"));
+}
