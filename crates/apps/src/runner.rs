@@ -10,7 +10,7 @@
 
 use pml_collectives::exec::sim;
 use pml_collectives::{Algorithm, Collective, CommSchedule};
-use pml_core::{AlgorithmSelector, JobConfig};
+use pml_core::{applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault};
 use pml_simnet::{CostModel, JobLayout, NodeSpec};
 use std::collections::HashMap;
 
@@ -73,11 +73,14 @@ pub fn run_app(
             }
             Phase::Collective(coll, msg) => {
                 let job = JobConfig::new(layout.nodes, layout.ppn, msg);
-                let algo = selector.select(coll, job);
-                assert!(
-                    algo.supports(world),
-                    "selector returned inapplicable {algo}"
-                );
+                // A selector can hand back an algorithm undefined at this
+                // world size (e.g. recursive doubling on non-power-of-two
+                // ranks); degrade to its always-applicable relative, then
+                // to the library default, instead of aborting the run.
+                let mut algo = applicable_or_fallback(selector.select(coll, job), world);
+                if !algo.supports(world) {
+                    algo = MvapichDefault.select(coll, job);
+                }
                 let schedule = schedules
                     .entry(algo)
                     .or_insert_with(|| algo.schedule(world, 1));

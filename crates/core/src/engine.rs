@@ -10,6 +10,13 @@
 //! are memoized per (cluster, collective) in a [`TableStore`]. This is the
 //! programmatic equivalent of the CLI's `train` → `table` → `predict`
 //! workflow, and what `examples/quickstart.rs` drives.
+//!
+//! Every method takes `&self`: the memo state (models, tables,
+//! diagnostics) lives behind read-mostly locks, so one engine can be
+//! shared — including in an [`std::sync::Arc`] across threads — by any
+//! number of concurrent callers. Models are handed out as
+//! [`Arc<PretrainedModel>`] so a serving loop can keep predicting from an
+//! engine-trained artifact without holding any engine lock.
 
 use crate::error::PmlError;
 use crate::pipeline::{PretrainedModel, TrainConfig};
@@ -21,6 +28,7 @@ use pml_collectives::{Algorithm, Collective};
 use pml_obs::{span, Counter, Event};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 static DATASET_CACHE_HIT: Counter = Counter::new("engine.dataset.cache.hit");
 static DATASET_CACHE_MISS: Counter = Counter::new("engine.dataset.cache.miss");
@@ -46,17 +54,38 @@ fn dataset_file(collective: Collective) -> String {
     )
 }
 
+/// Structured diagnostics plus their rendered compatibility view, under
+/// one small lock (append-mostly, read rarely).
+#[derive(Debug, Default)]
+struct Diagnostics {
+    events: Vec<Event>,
+    warnings: Vec<String>,
+}
+
+/// Recover from lock poisoning: every guarded value here is a plain memo
+/// (map of finished artifacts / list of diagnostics), so a panic in
+/// another thread cannot leave it semantically inconsistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Owns the full offline-training + online-inference lifecycle.
+/// `Send + Sync`: see the module docs.
 #[derive(Debug)]
 pub struct SelectionEngine {
     clusters: Vec<ClusterEntry>,
     cfg: EngineConfig,
-    models: BTreeMap<Collective, PretrainedModel>,
-    store: TableStore,
-    /// Structured diagnostics, with [`SelectionEngine::warnings`] as the
-    /// rendered compatibility view.
-    events: Vec<Event>,
-    warnings: Vec<String>,
+    models: RwLock<BTreeMap<Collective, Arc<PretrainedModel>>>,
+    store: RwLock<TableStore>,
+    diags: Mutex<Diagnostics>,
 }
 
 impl SelectionEngine {
@@ -71,18 +100,23 @@ impl SelectionEngine {
         SelectionEngine {
             clusters,
             cfg,
-            models: BTreeMap::new(),
-            store: TableStore::new(),
-            events: Vec::new(),
-            warnings: Vec::new(),
+            models: RwLock::new(BTreeMap::new()),
+            store: RwLock::new(TableStore::new()),
+            diags: Mutex::new(Diagnostics::default()),
         }
+    }
+
+    /// This engine's training/benchmark configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
     }
 
     /// Record a structured diagnostic (and its rendered message for the
     /// `warnings()` compatibility view).
-    fn note(&mut self, ev: Event) {
-        self.warnings.push(ev.message.clone());
-        self.events.push(ev);
+    fn note(&self, ev: Event) {
+        let mut d = lock(&self.diags);
+        d.warnings.push(ev.message.clone());
+        d.events.push(ev);
     }
 
     pub fn clusters(&self) -> &[ClusterEntry] {
@@ -99,18 +133,18 @@ impl SelectionEngine {
 
     /// Non-fatal diagnostics accumulated so far (e.g. a corrupt dataset
     /// cache that was regenerated) — the rendered view of [`Self::events`].
-    pub fn warnings(&self) -> &[String] {
-        &self.warnings
+    pub fn warnings(&self) -> Vec<String> {
+        lock(&self.diags).warnings.clone()
     }
 
     /// Structured diagnostics accumulated so far.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.diags).events.clone()
     }
 
     /// The micro-benchmark dataset for one collective — from the on-disk
     /// cache when configured and valid, regenerated otherwise.
-    pub fn dataset(&mut self, collective: Collective) -> Result<Vec<TuningRecord>, PmlError> {
+    pub fn dataset(&self, collective: Collective) -> Result<Vec<TuningRecord>, PmlError> {
         let _span = span!("datagen", collective = collective.name());
         match &self.cfg.cache_dir {
             Some(dir) => {
@@ -138,54 +172,69 @@ impl SelectionEngine {
     }
 
     /// Train (or fetch the already-trained) model for one collective.
-    pub fn train(&mut self, collective: Collective) -> Result<&PretrainedModel, PmlError> {
-        if !self.models.contains_key(&collective) {
-            let records = self.dataset(collective)?;
-            let _span = span!("train", collective = collective.name());
-            let model = PretrainedModel::train(&records, collective, &self.cfg.train)?;
-            self.models.insert(collective, model);
+    ///
+    /// Concurrent first calls for the same collective may both train, but
+    /// training is deterministic so both produce identical artifacts; the
+    /// first to finish wins the memo slot and the other result is dropped.
+    /// No lock is held while benchmarking or fitting.
+    pub fn train(&self, collective: Collective) -> Result<Arc<PretrainedModel>, PmlError> {
+        if let Some(m) = read(&self.models).get(&collective) {
+            return Ok(Arc::clone(m));
         }
-        Ok(&self.models[&collective])
+        let records = self.dataset(collective)?;
+        let model = {
+            let _span = span!("train", collective = collective.name());
+            Arc::new(PretrainedModel::train(
+                &records,
+                collective,
+                &self.cfg.train,
+            )?)
+        };
+        let mut models = write(&self.models);
+        Ok(Arc::clone(models.entry(collective).or_insert(model)))
     }
 
     /// A model trained earlier in this engine's lifetime, if any.
-    pub fn model(&self, collective: Collective) -> Option<&PretrainedModel> {
-        self.models.get(&collective)
+    pub fn model(&self, collective: Collective) -> Option<Arc<PretrainedModel>> {
+        read(&self.models).get(&collective).map(Arc::clone)
     }
 
     /// Adopt an externally trained/deserialized artifact (the shipped-model
     /// deployment path: no benchmarking, no training).
-    pub fn install_model(&mut self, model: PretrainedModel) {
-        self.models.insert(model.collective, model);
+    pub fn install_model(&self, model: PretrainedModel) {
+        write(&self.models).insert(model.collective, Arc::new(model));
     }
 
     /// The tuning table for one (cluster, collective), generating — and
     /// training first, if needed — on a miss. Tables are memoized, so the
-    /// steady-state cost is a map probe.
+    /// steady-state cost is a map probe plus one clone.
     pub fn tuning_table(
-        &mut self,
+        &self,
         cluster: &str,
         collective: Collective,
-    ) -> Result<&TuningTable, PmlError> {
-        if self.store.get(cluster, collective).is_none() {
-            TABLE_MISS.inc();
-            let entry = self.entry(cluster)?.clone();
-            self.train(collective)?;
-            let _span = span!("table", cluster = cluster, collective = collective.name());
-            let table = self.models[&collective].generate_tuning_table(&entry)?;
-            self.store.put(table);
-        } else {
+    ) -> Result<TuningTable, PmlError> {
+        if let Some(t) = read(&self.store).get(cluster, collective) {
             TABLE_HIT.inc();
+            return Ok(t.clone());
         }
-        self.store
-            .get(cluster, collective)
-            .ok_or_else(|| PmlError::UnknownCluster(cluster.to_string()))
+        TABLE_MISS.inc();
+        let entry = self.entry(cluster)?.clone();
+        let model = self.train(collective)?;
+        let table = {
+            let _span = span!("table", cluster = cluster, collective = collective.name());
+            model.generate_tuning_table(&entry)?
+        };
+        let mut store = write(&self.store);
+        if store.get(cluster, collective).is_none() {
+            store.put(table.clone());
+        }
+        Ok(table)
     }
 
     /// Predict the algorithm for one job on one cluster (trains on first
     /// use; grid-independent — goes through the model, not the table).
     pub fn predict(
-        &mut self,
+        &self,
         cluster: &str,
         collective: Collective,
         job: JobConfig,
@@ -197,16 +246,22 @@ impl SelectionEngine {
 
     /// Build the runtime-side [`Tuner`] for a cluster from this engine's
     /// tables — the hand-off point to an MPI library.
-    pub fn tuner_for(
-        &mut self,
-        cluster: &str,
-        collectives: &[Collective],
-    ) -> Result<Tuner, PmlError> {
+    pub fn tuner_for(&self, cluster: &str, collectives: &[Collective]) -> Result<Tuner, PmlError> {
         let mut tables = Vec::with_capacity(collectives.len());
         for &c in collectives {
-            tables.push(self.tuning_table(cluster, c)?.clone());
+            tables.push(self.tuning_table(cluster, c)?);
         }
         Ok(Tuner::new(tables))
+    }
+
+    /// Like [`Self::tuner_for`], but wrapped for sharing across serving
+    /// threads.
+    pub fn shared_tuner_for(
+        &self,
+        cluster: &str,
+        collectives: &[Collective],
+    ) -> Result<Arc<Tuner>, PmlError> {
+        Ok(Arc::new(self.tuner_for(cluster, collectives)?))
     }
 }
 
@@ -244,7 +299,7 @@ mod tests {
 
     #[test]
     fn full_lifecycle_trains_tables_and_tuner() {
-        let mut eng = tiny_engine(None);
+        let eng = tiny_engine(None);
         assert!(eng.model(Collective::Alltoall).is_none());
         let table = eng.tuning_table("RI", Collective::Alltoall).unwrap();
         assert_eq!(table.len(), 2 * 2 * 3);
@@ -258,21 +313,15 @@ mod tests {
 
     #[test]
     fn tables_are_memoized() {
-        let mut eng = tiny_engine(None);
-        let a = eng
-            .tuning_table("RI", Collective::Allgather)
-            .unwrap()
-            .clone();
-        let b = eng
-            .tuning_table("RI", Collective::Allgather)
-            .unwrap()
-            .clone();
+        let eng = tiny_engine(None);
+        let a = eng.tuning_table("RI", Collective::Allgather).unwrap();
+        let b = eng.tuning_table("RI", Collective::Allgather).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn unknown_cluster_is_an_error() {
-        let mut eng = tiny_engine(None);
+        let eng = tiny_engine(None);
         assert!(eng.tuning_table("Atlantis", Collective::Allgather).is_err());
         assert!(eng
             .predict("Atlantis", Collective::Allgather, JobConfig::new(1, 2, 64))
@@ -284,7 +333,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pmlengine-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("dataset_allgather.json"), "{broken").unwrap();
-        let mut eng = tiny_engine(Some(dir.clone()));
+        let eng = tiny_engine(Some(dir.clone()));
         let records = eng.dataset(Collective::Allgather).unwrap();
         assert!(!records.is_empty());
         assert_eq!(eng.warnings().len(), 1);
@@ -294,10 +343,11 @@ mod tests {
 
     #[test]
     fn installed_model_skips_training() {
-        let mut eng = tiny_engine(None);
+        let eng = tiny_engine(None);
         let records = eng.dataset(Collective::Alltoall).unwrap();
-        let model = PretrainedModel::train(&records, Collective::Alltoall, &eng.cfg.train).unwrap();
-        let mut deploy = tiny_engine(None);
+        let model =
+            PretrainedModel::train(&records, Collective::Alltoall, &eng.config().train).unwrap();
+        let deploy = tiny_engine(None);
         deploy.install_model(model.clone());
         // `train` must return the installed artifact untouched.
         let got = deploy.train(Collective::Alltoall).unwrap();
@@ -306,11 +356,39 @@ mod tests {
 
     #[test]
     fn predict_is_applicable() {
-        let mut eng = tiny_engine(None);
+        let eng = tiny_engine(None);
         let a = eng
             .predict("RI", Collective::Alltoall, JobConfig::new(3, 5, 777))
             .unwrap();
         assert!(a.supports(15));
         assert_eq!(a.collective(), Collective::Alltoall);
+    }
+
+    /// The engine is shareable across threads: concurrent `train` calls
+    /// for the same collective converge on one memoized artifact, and
+    /// concurrent `tuning_table` calls agree.
+    #[test]
+    fn engine_is_send_sync_and_concurrently_usable() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SelectionEngine>();
+        assert_send_sync::<Arc<SelectionEngine>>();
+
+        let eng = Arc::new(tiny_engine(None));
+        let models: Vec<Arc<PretrainedModel>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let eng = Arc::clone(&eng);
+                    scope.spawn(move || eng.train(Collective::Alltoall).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All threads see the same memoized artifact (pointer-equal).
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m));
+        }
+        let t1 = eng.tuning_table("RI", Collective::Alltoall).unwrap();
+        let t2 = eng.tuning_table("RI", Collective::Alltoall).unwrap();
+        assert_eq!(t1, t2);
     }
 }

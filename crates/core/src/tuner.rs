@@ -4,8 +4,15 @@
 //! tables produced at compile time (Fig. 4's JSON artifacts, one per
 //! collective). Every collective call then asks the tuner which algorithm
 //! to run; lookups are memoized per (collective, job shape, message size),
-//! so the steady-state cost is one hash-map probe — the "constant time at
+//! so the steady-state cost is one map probe — the "constant time at
 //! application runtime" the paper's title promises.
+//!
+//! The memo cache is sharded per collective and read-mostly: every shard
+//! is an [`RwLock`] over an ordered map, so concurrent callers on the
+//! steady-state path take a shared read lock on *different* shards and
+//! never serialize behind one global mutex. [`Tuner`] is `Send + Sync` and
+//! designed to live in an [`std::sync::Arc`] shared by every serving
+//! thread (see `pml-serve`).
 
 use crate::error::PmlError;
 use crate::selectors::{applicable_or_fallback, AlgorithmSelector, JobConfig, MvapichDefault};
@@ -13,7 +20,8 @@ use crate::tuning_table::TuningTable;
 use pml_collectives::{Algorithm, Collective};
 use pml_obs::{Counter, Histogram};
 use std::collections::BTreeMap;
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 static CACHE_HIT: Counter = Counter::new("tuner.cache.hit");
 static CACHE_MISS: Counter = Counter::new("tuner.cache.miss");
@@ -44,23 +52,56 @@ impl FallbackDepth {
     }
 }
 
-/// Memoized decisions plus hit/miss counters, under one lock.
+/// Memo key within a shard: the job shape (nodes, ppn, msg_size).
+type ShardKey = (u32, u32, usize);
+/// Memoized decision: the algorithm and how it was reached.
+type Decision = (Algorithm, FallbackDepth);
+
+/// One memo shard: the decisions for a single collective, behind a
+/// read-mostly lock. Hit/miss tallies are relaxed atomics so the read path
+/// never upgrades to a write lock just to count.
 #[derive(Debug, Default)]
-struct SelectCache {
-    /// (collective, nodes, ppn, msg) → (algorithm, fallback depth).
-    map: BTreeMap<(Collective, u32, u32, usize), (Algorithm, FallbackDepth)>,
-    hits: u64,
-    misses: u64,
+struct Shard {
+    map: RwLock<BTreeMap<ShardKey, Decision>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Shard {
+    /// Read view, recovering from a poisoned lock: the map holds plain
+    /// lookup results, so a panic in another thread mid-insert cannot
+    /// leave it semantically inconsistent — worst case is one lost memo.
+    fn read(&self) -> RwLockReadGuard<'_, BTreeMap<ShardKey, Decision>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, BTreeMap<ShardKey, Decision>> {
+        self.map.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Shard index for a collective: its position in [`Collective::ALL`].
+fn shard_index(collective: Collective) -> usize {
+    match collective {
+        Collective::Allgather => 0,
+        Collective::Alltoall => 1,
+        Collective::Bcast => 2,
+        Collective::Allreduce => 3,
+    }
 }
 
 /// Per-process algorithm selection with memoized tuning-table lookups.
 ///
-/// Ordered maps throughout: iteration order (e.g. in [`Tuner::covered`] or
-/// any future cache dump) is deterministic, never hash-seed dependent.
+/// Thread-safety: the tables are immutable after construction and the memo
+/// cache is sharded per collective behind read-mostly locks, so any number
+/// of threads may call [`Tuner::select`] concurrently on one shared
+/// (`Arc`-wrapped) tuner. Ordered maps throughout: iteration order (e.g.
+/// in [`Tuner::covered`] or any future cache dump) is deterministic, never
+/// hash-seed dependent.
 #[derive(Debug)]
 pub struct Tuner {
     tables: BTreeMap<Collective, TuningTable>,
-    cache: Mutex<SelectCache>,
+    shards: [Shard; Collective::ALL.len()],
 }
 
 impl Tuner {
@@ -70,15 +111,8 @@ impl Tuner {
     pub fn new(tables: impl IntoIterator<Item = TuningTable>) -> Self {
         Tuner {
             tables: tables.into_iter().map(|t| (t.collective, t)).collect(),
-            cache: Mutex::new(SelectCache::default()),
+            shards: Default::default(),
         }
-    }
-
-    /// The memo cache, recovering from a poisoned lock: the cache holds
-    /// plain lookup results, so a panic in another thread mid-insert cannot
-    /// leave it semantically inconsistent — worse case is one lost memo.
-    fn cache(&self) -> std::sync::MutexGuard<'_, SelectCache> {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Load every `*.json` tuning table in a directory, routing each
@@ -114,10 +148,19 @@ impl Tuner {
         v
     }
 
-    /// (cache hits, cache misses) so far.
+    /// (cache hits, cache misses) so far, summed over every shard.
     pub fn stats(&self) -> (u64, u64) {
-        let c = self.cache();
-        (c.hits, c.misses)
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            (
+                h + s.hits.load(Ordering::Relaxed),
+                m + s.misses.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Memoized decisions held right now, summed over every shard.
+    pub fn cached_decisions(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Pick the algorithm for one collective call.
@@ -134,17 +177,15 @@ impl Tuner {
         collective: Collective,
         job: JobConfig,
     ) -> (Algorithm, FallbackDepth) {
-        let key = (collective, job.nodes, job.ppn, job.msg_size);
-        {
-            let mut c = self.cache();
-            if let Some(&(a, depth)) = c.map.get(&key) {
-                c.hits += 1;
-                CACHE_HIT.inc();
-                return (a, depth);
-            }
-            c.misses += 1;
-            CACHE_MISS.inc();
+        let key = (job.nodes, job.ppn, job.msg_size);
+        let shard = &self.shards[shard_index(collective)];
+        if let Some(&(a, depth)) = shard.read().get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HIT.inc();
+            return (a, depth);
         }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISS.inc();
         let world = job.world_size();
         let mut depth = FallbackDepth::DefaultRules;
         let mut chosen = None;
@@ -167,7 +208,10 @@ impl Tuner {
         }
         let chosen = chosen.unwrap_or_else(|| MvapichDefault.select(collective, job));
         FALLBACK_DEPTH.observe(depth.as_u64());
-        self.cache().map.insert(key, (chosen, depth));
+        // Two threads racing on the same uncached key both compute the same
+        // deterministic decision; whichever inserts second overwrites with
+        // an identical value, so the memo never flaps.
+        shard.write().insert(key, (chosen, depth));
         (chosen, depth)
     }
 }
@@ -268,6 +312,44 @@ mod tests {
             tuner.select_traced(Collective::Alltoall, job),
             (a, FallbackDepth::Exact)
         );
+    }
+
+    /// The whole point of the sharded cache: a tuner in an `Arc` is usable
+    /// from any number of threads. Compile-time guarantee.
+    #[test]
+    fn tuner_is_send_sync_and_arc_shareable() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Tuner>();
+        assert_send_sync::<std::sync::Arc<Tuner>>();
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_serial_ones() {
+        let tuner = std::sync::Arc::new(Tuner::new([table()]));
+        let serial = Tuner::new([table()]);
+        let jobs: Vec<JobConfig> = (0..64)
+            .map(|i| JobConfig::new(1 + i % 5, 1 + i % 7, 1usize << (i % 18)))
+            .collect();
+        let want: Vec<_> = jobs
+            .iter()
+            .map(|&j| serial.select_traced(Collective::Alltoall, j))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let tuner = std::sync::Arc::clone(&tuner);
+                let jobs = &jobs;
+                let want = &want;
+                scope.spawn(move || {
+                    for (j, w) in jobs.iter().zip(want) {
+                        assert_eq!(tuner.select_traced(Collective::Alltoall, *j), *w);
+                    }
+                });
+            }
+        });
+        // Every decision memoized exactly once; the rest were shard hits.
+        let (hits, misses) = tuner.stats();
+        assert_eq!(hits + misses, 4 * jobs.len() as u64);
+        assert!(tuner.cached_decisions() <= jobs.len());
     }
 
     #[test]

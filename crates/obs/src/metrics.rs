@@ -26,8 +26,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Maximum finite bucket bounds per histogram (one extra slot counts
-/// overflow). Fixed so histograms stay `const`-constructible.
-pub const MAX_BUCKETS: usize = 15;
+/// overflow). Fixed so histograms stay `const`-constructible. Sized for
+/// [`LATENCY_NS_BOUNDS`]'s sub-millisecond resolution (serve-path
+/// latencies are single-digit microseconds) with a little headroom.
+pub const MAX_BUCKETS: usize = 24;
 
 /// Recover from lock poisoning: metric state is plain atomics, so a panic
 /// elsewhere cannot leave it semantically inconsistent.
@@ -257,20 +259,33 @@ pub fn snapshot() -> MetricsSnapshot {
     snap
 }
 
-/// Exponential nanosecond bounds for latency histograms: 1µs … ~16s.
-pub const LATENCY_NS_BOUNDS: [u64; 15] = [
+/// Nanosecond bounds for latency histograms: 250 ns … 16 s.
+///
+/// Sub-millisecond values get power-of-two resolution (250 ns, 500 ns,
+/// 1 µs, 2 µs, … 500 µs) because that is where serve-path selection
+/// latencies live; above 1 ms the spacing widens to the original
+/// exponential ladder. Superset of the pre-serve 15-bound layout — the
+/// `pml-obs/v1` export shape (`bounds`/`counts`/`overflow`/`sum`/`count`)
+/// is unchanged, the arrays are just longer.
+pub const LATENCY_NS_BOUNDS: [u64; 21] = [
+    250,
+    500,
     1_000,
+    2_000,
     4_000,
+    8_000,
     16_000,
+    32_000,
     64_000,
+    125_000,
     250_000,
+    500_000,
     1_000_000,
     4_000_000,
     16_000_000,
     64_000_000,
     250_000_000,
     1_000_000_000,
-    2_000_000_000,
     4_000_000_000,
     8_000_000_000,
     16_000_000_000,
@@ -342,17 +357,36 @@ mod tests {
 
     #[test]
     fn histogram_caps_bounds_at_max_buckets() {
-        static BIG: [u64; 20] = [
-            1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+        static BIG: [u64; 30] = [
+            1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24,
+            25, 26, 27, 28, 29, 30,
         ];
         static H: Histogram = Histogram::new("test.hist.cap", &BIG);
         assert_eq!(H.bounds().len(), MAX_BUCKETS);
-        H.observe(16); // past the 15 usable bounds -> overflow
-        H.observe(15); // last usable bucket
+        H.observe(MAX_BUCKETS as u64 + 1); // past the usable bounds -> overflow
+        H.observe(MAX_BUCKETS as u64); // last usable bucket
         let counts = H.bucket_counts();
         assert_eq!(counts.len(), MAX_BUCKETS + 1);
         assert_eq!(counts[MAX_BUCKETS - 1], 1);
         assert_eq!(counts[MAX_BUCKETS], 1);
+    }
+
+    /// The serve path observes µs-scale latencies: the shared latency
+    /// ladder must resolve them into distinct sub-millisecond buckets
+    /// instead of lumping everything under one coarse bound.
+    #[test]
+    fn latency_bounds_resolve_sub_millisecond_values() {
+        assert!(LATENCY_NS_BOUNDS.len() <= MAX_BUCKETS);
+        let sub_ms = LATENCY_NS_BOUNDS.iter().filter(|&&b| b < 1_000_000).count();
+        assert!(sub_ms >= 10, "only {sub_ms} sub-ms bounds");
+        assert!(LATENCY_NS_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+        // Distinct buckets for 0.4 µs, 3 µs, and 40 µs observations.
+        static H: Histogram = Histogram::new("test.hist.subms", &LATENCY_NS_BOUNDS);
+        H.observe(400);
+        H.observe(3_000);
+        H.observe(40_000);
+        let counts = H.bucket_counts();
+        assert_eq!(counts.iter().filter(|&&c| c == 1).count(), 3);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The request batcher: many concurrent `predict` lookups, one forest
+//! inference.
+//!
+//! Forest inference amortizes: feature extraction and tree traversal over
+//! a batch of rows costs far less than the same rows one at a time (the
+//! `infer.batch.rows` histogram in pml-obs exists to show exactly that).
+//! So the daemon never calls [`PretrainedModel::predict_batch`] per
+//! request — connection threads enqueue work items into a bounded queue
+//! and a single worker drains it in windows: it blocks for the first item,
+//! then keeps collecting until either the batch cap or a small time window
+//! is hit, groups the batch by (collective, cluster), and runs one batched
+//! inference per group.
+//!
+//! Backpressure is explicit: when the queue is full, [`Batcher::submit`]
+//! returns a typed `overload` error immediately instead of blocking the
+//! connection thread — the client sees `{"error":{"kind":"overload"}}` and
+//! can back off.
+
+use crate::protocol::{collective_wire_name, ErrorKind, ProtoError};
+use pml_collectives::{Algorithm, Collective};
+use pml_core::{JobConfig, PretrainedModel};
+use pml_obs::Histogram;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Rows per flushed inference batch (how well the window coalesces).
+static BATCH_ROWS: Histogram =
+    Histogram::new("serve.batch.rows", &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+
+/// Queue and window sizing for the batcher.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Bounded queue depth; a full queue rejects with `overload`.
+    pub queue_depth: usize,
+    /// Flush as soon as this many items are in hand.
+    pub max_batch: usize,
+    /// Flush when the oldest queued item has waited this long.
+    pub window: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            queue_depth: 4096,
+            max_batch: 128,
+            window: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One queued lookup plus the channel its answer goes back on.
+struct WorkItem {
+    cluster: String,
+    collective: Collective,
+    job: JobConfig,
+    reply: mpsc::Sender<Result<Algorithm, ProtoError>>,
+}
+
+/// The batching front end to a set of pre-trained models (one per
+/// collective). `Send + Sync`: connection threads share one batcher.
+#[derive(Debug)]
+pub struct Batcher {
+    tx: Option<mpsc::SyncSender<WorkItem>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawn the worker thread over `models` (keyed by collective).
+    pub fn new(models: BTreeMap<Collective, Arc<PretrainedModel>>, cfg: BatchConfig) -> Batcher {
+        let (tx, rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_depth.max(1));
+        let max_batch = cfg.max_batch.max(1);
+        let window = cfg.window;
+        let worker = std::thread::spawn(move || {
+            // Blocks for the first item of each window; exits when every
+            // sender (the Batcher) is gone.
+            while let Ok(first) = rx.recv() {
+                let mut batch = vec![first];
+                let deadline = Instant::now() + window;
+                while batch.len() < max_batch {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(left) {
+                        Ok(item) => batch.push(item),
+                        Err(_) => break, // window elapsed or senders gone
+                    }
+                }
+                flush(&models, batch);
+            }
+        });
+        Batcher {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueue one lookup and wait for its batched answer. Fails fast with
+    /// an `overload` error when the queue is full.
+    pub fn submit(
+        &self,
+        cluster: &str,
+        collective: Collective,
+        job: JobConfig,
+    ) -> Result<Algorithm, ProtoError> {
+        let internal = || ProtoError::new(ErrorKind::Internal, "batch worker is gone");
+        let tx = self.tx.as_ref().ok_or_else(internal)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let item = WorkItem {
+            cluster: cluster.to_string(),
+            collective,
+            job,
+            reply: reply_tx,
+        };
+        match tx.try_send(item) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                return Err(ProtoError::new(
+                    ErrorKind::Overload,
+                    "batch queue full; retry after a backoff",
+                ))
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return Err(internal()),
+        }
+        reply_rx.recv().map_err(|_| internal())?
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        // Dropping the sender ends the worker's recv loop; join so queued
+        // items are answered before the models are torn down.
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            worker.join().ok();
+        }
+    }
+}
+
+/// Answer one collected batch: group by (collective, cluster), one
+/// [`PretrainedModel::predict_batch`] call per group. Send failures are
+/// ignored — a disconnected client just stops caring about its answer.
+fn flush(models: &BTreeMap<Collective, Arc<PretrainedModel>>, batch: Vec<WorkItem>) {
+    BATCH_ROWS.observe(batch.len() as u64);
+    let mut groups: BTreeMap<(Collective, String), Vec<WorkItem>> = BTreeMap::new();
+    for item in batch {
+        groups
+            .entry((item.collective, item.cluster.clone()))
+            .or_default()
+            .push(item);
+    }
+    for ((collective, cluster), items) in groups {
+        let Some(model) = models.get(&collective) else {
+            let err = ProtoError::new(
+                ErrorKind::Unsupported,
+                format!(
+                    "no model loaded for {} (daemon has: {})",
+                    collective_wire_name(collective),
+                    loaded_names(models)
+                ),
+            );
+            for item in items {
+                item.reply.send(Err(err.clone())).ok();
+            }
+            continue;
+        };
+        let Some(entry) = pml_clusters::by_name(&cluster) else {
+            let err = ProtoError::new(
+                ErrorKind::Unsupported,
+                format!("unknown cluster {cluster:?} (see `pml-mpi zoo`)"),
+            );
+            for item in items {
+                item.reply.send(Err(err.clone())).ok();
+            }
+            continue;
+        };
+        let jobs: Vec<JobConfig> = items.iter().map(|i| i.job).collect();
+        let algos = model.predict_batch(&entry.spec.node, &jobs);
+        for (item, algo) in items.into_iter().zip(algos) {
+            item.reply.send(Ok(algo)).ok();
+        }
+    }
+}
+
+fn loaded_names(models: &BTreeMap<Collective, Arc<PretrainedModel>>) -> String {
+    if models.is_empty() {
+        return "none".to_string();
+    }
+    models
+        .keys()
+        .map(|c| collective_wire_name(*c))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_core::{EngineConfig, SelectionEngine, TrainConfig};
+    use pml_mlcore::ForestParams;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn batcher_is_send_sync() {
+        assert_send_sync::<Batcher>();
+    }
+
+    fn mini_model(collective: Collective) -> Arc<PretrainedModel> {
+        let clusters: Vec<_> = ["RI", "Haswell"]
+            .iter()
+            .map(|name| {
+                let mut e = pml_clusters::by_name(name).expect("zoo cluster").clone();
+                e.node_grid = vec![1, 2, 4];
+                e.ppn_grid = vec![2, 8];
+                e.msg_grid = vec![16, 1024, 65536];
+                e
+            })
+            .collect();
+        let cfg = EngineConfig {
+            datagen: pml_clusters::DatagenConfig::noiseless(),
+            train: TrainConfig {
+                forest: ForestParams {
+                    n_estimators: 15,
+                    seed: 3,
+                    ..Default::default()
+                },
+                top_k_features: Some(5),
+            },
+            cache_dir: None,
+        };
+        SelectionEngine::with_clusters(clusters, cfg)
+            .train(collective)
+            .expect("mini training succeeds")
+    }
+
+    #[test]
+    fn batched_answers_match_direct_model_calls() {
+        let model = mini_model(Collective::Alltoall);
+        let batcher = Arc::new(Batcher::new(
+            BTreeMap::from([(Collective::Alltoall, Arc::clone(&model))]),
+            BatchConfig {
+                window: Duration::from_millis(2),
+                ..BatchConfig::default()
+            },
+        ));
+        let node = &pml_clusters::by_name("Frontera")
+            .expect("zoo cluster")
+            .spec
+            .node;
+        let jobs: Vec<JobConfig> = (0..32)
+            .map(|i| JobConfig::new(1 + i % 5, 1 + (i * 3) % 16, 1usize << (i % 18)))
+            .collect();
+        let direct = model.predict_batch(node, &jobs);
+
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&job| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit("Frontera", Collective::Alltoall, job))
+            })
+            .collect();
+        let got: Vec<Algorithm> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic").expect("submit succeeds"))
+            .collect();
+        assert_eq!(got, direct, "batched answers must equal direct inference");
+    }
+
+    #[test]
+    fn missing_model_and_unknown_cluster_are_typed_unsupported() {
+        let model = mini_model(Collective::Alltoall);
+        let batcher = Batcher::new(
+            BTreeMap::from([(Collective::Alltoall, model)]),
+            BatchConfig::default(),
+        );
+        let job = JobConfig::new(2, 8, 1024);
+        let err = batcher
+            .submit("Frontera", Collective::Bcast, job)
+            .expect_err("no bcast model");
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+        let err = batcher
+            .submit("Atlantis", Collective::Alltoall, job)
+            .expect_err("unknown cluster");
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pml-serve
+//!
+//! The selection path as a concurrent service.
+//!
+//! An MPI library normally links [`pml_core::Tuner`] in-process, but a
+//! shared deployment (one tuned model per cluster, many launching jobs)
+//! wants a daemon: load the tuning tables and model artifacts once, answer
+//! selection queries from every process on the node. This crate is that
+//! daemon, kept deliberately air-gap-safe — the wire format is
+//! newline-delimited JSON over a Unix domain socket, no network stack, no
+//! external dependencies.
+//!
+//! * [`protocol`] — the versioned `pml-serve/v1` frame format: request
+//!   parsing with typed error replies (a malformed frame is answered, never
+//!   dropped) and reply rendering;
+//! * [`batch`] — the request batcher: concurrent `predict` lookups funnel
+//!   through a bounded queue into one batched forest inference
+//!   ([`pml_core::PretrainedModel::predict_batch`]) per time/size window;
+//! * [`server`] — artifact loading and the accept loop: per-connection
+//!   threads over a shared [`pml_core::Tuner`], clean shutdown on SIGTERM
+//!   or the `shutdown` op (socket file removed, connections joined);
+//! * [`signal`] — the SIGTERM/SIGINT → atomic-flag bridge (no `libc`
+//!   dependency; one `extern "C"` declaration).
+
+#![deny(rust_2018_idioms, missing_debug_implementations)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+pub mod batch;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use batch::{BatchConfig, Batcher};
+pub use protocol::{
+    collective_wire_name, parse_request, ErrorKind, Op, ProtoError, Request, PROTOCOL_VERSION,
+};
+pub use server::{load_artifacts, serve, LoadedArtifacts, ServeConfig, ServeError, Server};
+pub use signal::install_termination_flag;

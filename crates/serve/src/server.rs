@@ -1,0 +1,574 @@
+//! The daemon: artifact loading, the accept loop, and clean shutdown.
+//!
+//! One process loads the tuning tables and pre-trained models once, then
+//! any number of clients connect over a Unix domain socket and speak
+//! [`crate::protocol`]. Every connection gets a thread; all threads share
+//! one [`Tuner`] (`select`, the memoized constant-time path) and one
+//! [`Batcher`] (`predict`, batched forest inference). Shutdown is
+//! cooperative: SIGTERM/SIGINT (via [`crate::signal`]) or a `shutdown`
+//! frame flips a flag, the accept loop stops, connection threads drain and
+//! join, and the socket file is removed — a supervisor sees exit code 0.
+//!
+//! Artifact directory layout (`--model DIR`):
+//!
+//! ```text
+//! DIR/*.json          verified tuning tables (pml-table/v1), one per collective
+//! DIR/models/*.json   verified pre-trained model artifacts (pml-model/v1)
+//! ```
+//!
+//! Damaged files are skipped with a warning, not fatal — a deployment with
+//! one bad table still serves the rest (mirroring [`Tuner::from_dir`]).
+
+use crate::batch::{BatchConfig, Batcher};
+use crate::protocol::{self, Op};
+use crate::signal;
+use pml_collectives::Collective;
+use pml_core::{PretrainedModel, Tuner};
+use pml_obs::{Clock, Counter, Histogram, MonotonicClock, LATENCY_NS_BOUNDS};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static REQUESTS: Counter = Counter::new("serve.requests");
+static ERRORS: Counter = Counter::new("serve.errors");
+static CONNECTIONS: Counter = Counter::new("serve.connections");
+/// Daemon-side handling latency of the memoized `select` path.
+static SELECT_LATENCY: Histogram = Histogram::new("serve.select.latency_ns", &LATENCY_NS_BOUNDS);
+/// Daemon-side handling latency of the batched `predict` path.
+static PREDICT_LATENCY: Histogram = Histogram::new("serve.predict.latency_ns", &LATENCY_NS_BOUNDS);
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Everything `Server::bind` needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to listen on (created, removed on exit).
+    pub socket: PathBuf,
+    /// Artifact directory: tables at the top level, models under `models/`.
+    pub model_dir: PathBuf,
+    /// Batcher sizing for the `predict` path.
+    pub batch: BatchConfig,
+}
+
+/// A daemon-level failure (socket I/O or artifact loading).
+#[derive(Debug)]
+pub enum ServeError {
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    Load(pml_core::PmlError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            ServeError::Load(e) => write!(f, "loading artifacts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<pml_core::PmlError> for ServeError {
+    fn from(e: pml_core::PmlError) -> Self {
+        ServeError::Load(e)
+    }
+}
+
+/// What `load_artifacts` found in the model directory.
+#[derive(Debug)]
+pub struct LoadedArtifacts {
+    pub tuner: Tuner,
+    pub models: BTreeMap<Collective, Arc<PretrainedModel>>,
+    /// Skipped files and why (surfaced on stderr by the CLI).
+    pub warnings: Vec<String>,
+}
+
+/// Load and statically verify every artifact under `dir`: tuning tables
+/// from `dir/*.json`, pre-trained models from `dir/models/*.json`.
+pub fn load_artifacts(dir: &Path) -> Result<LoadedArtifacts, ServeError> {
+    let (tuner, mut warnings) = Tuner::from_dir(dir)?;
+    let mut models = BTreeMap::new();
+    let models_dir = dir.join("models");
+    if models_dir.is_dir() {
+        let io_err = |e: std::io::Error, path: &Path| ServeError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        };
+        for entry in std::fs::read_dir(&models_dir).map_err(|e| io_err(e, &models_dir))? {
+            let path = entry.map_err(|e| io_err(e, &models_dir))?.path();
+            if path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).map_err(|e| io_err(e, &path))?;
+            match pml_core::verify_model_json(&text) {
+                Ok(model) => {
+                    models.insert(model.collective, Arc::new(model));
+                }
+                Err(e) => warnings.push(format!("skipping model {}: {e}", path.display())),
+            }
+        }
+    }
+    Ok(LoadedArtifacts {
+        tuner,
+        models,
+        warnings,
+    })
+}
+
+/// State every connection thread shares.
+struct Shared {
+    tuner: Tuner,
+    batcher: Batcher,
+    /// Which collectives have a loaded model (for `stats`).
+    model_coverage: Vec<Collective>,
+    /// Set by the `shutdown` op or the signal flag; read everywhere.
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    clock: MonotonicClock,
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] blocks until shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: UnixListener,
+    socket: PathBuf,
+    warnings: Vec<String>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("socket", &self.socket)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Load artifacts from `cfg.model_dir` and bind `cfg.socket`. A stale
+    /// socket file from a previous unclean exit is replaced.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, ServeError> {
+        let artifacts = load_artifacts(&cfg.model_dir)?;
+        Server::with_artifacts(&cfg.socket, artifacts, cfg.batch.clone())
+    }
+
+    /// Bind with already-loaded artifacts (tests and embedders).
+    pub fn with_artifacts(
+        socket: &Path,
+        artifacts: LoadedArtifacts,
+        batch: BatchConfig,
+    ) -> Result<Server, ServeError> {
+        let io_err = |e: std::io::Error| ServeError::Io {
+            path: socket.to_path_buf(),
+            source: e,
+        };
+        if socket.exists() {
+            // A live daemon would hold the listener; a leftover file from a
+            // crash just blocks bind(2).
+            std::fs::remove_file(socket).map_err(io_err)?;
+        }
+        let listener = UnixListener::bind(socket).map_err(io_err)?;
+        listener.set_nonblocking(true).map_err(io_err)?;
+        let model_coverage: Vec<Collective> = artifacts.models.keys().copied().collect();
+        Ok(Server {
+            shared: Arc::new(Shared {
+                tuner: artifacts.tuner,
+                batcher: Batcher::new(artifacts.models, batch),
+                model_coverage,
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                clock: MonotonicClock::new(),
+            }),
+            listener,
+            socket: socket.to_path_buf(),
+            warnings: artifacts.warnings,
+        })
+    }
+
+    /// Artifact-loading warnings (skipped files), for the CLI to surface.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// (requests, errors) handled so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (
+            self.shared.requests.load(Ordering::Relaxed),
+            self.shared.errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Accept until `term` (e.g. the SIGTERM flag from
+    /// [`signal::install_termination_flag`]) or a `shutdown` frame fires,
+    /// then drain: join every connection thread and remove the socket file.
+    pub fn run(self, term: &AtomicBool) -> Result<(), ServeError> {
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if term.load(Ordering::Relaxed) {
+                self.shared.shutdown.store(true, Ordering::Relaxed);
+            }
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    CONNECTIONS.inc();
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(std::thread::spawn(move || {
+                        serve_connection(&shared, stream)
+                    }));
+                    // Reap finished threads so a long-lived daemon's handle
+                    // list stays bounded by its live connections.
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => {
+                    return Err(ServeError::Io {
+                        path: self.socket.clone(),
+                        source: e,
+                    })
+                }
+            }
+        }
+        for handle in conns {
+            handle.join().ok();
+        }
+        // Best effort: the file may already be gone if the directory was.
+        std::fs::remove_file(&self.socket).ok();
+        Ok(())
+    }
+}
+
+/// One connection: read NDJSON lines, answer each, until EOF, a transport
+/// error, or daemon shutdown. Read timeouts keep the thread responsive to
+/// the shutdown flag without busy-waiting.
+fn serve_connection(shared: &Shared, stream: UnixStream) {
+    stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // The line buffer persists across read timeouts: a frame arriving in
+    // pieces accumulates until its newline (or EOF) shows up.
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            // EOF. A non-empty buffer is a frame truncated mid-line by the
+            // disconnect: answer it (typed error or not) before closing.
+            Ok(0) => {
+                if !line.trim().is_empty() {
+                    let (reply, _) = handle_line(shared, &line);
+                    send(&mut writer, &reply).ok();
+                }
+                return;
+            }
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue; // blank keep-alive line
+                }
+                let (reply, stop) = handle_line(shared, &line);
+                line.clear();
+                if send(&mut writer, &reply).is_err() || stop {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn send(writer: &mut UnixStream, reply: &str) -> std::io::Result<()> {
+    writer.write_all(reply.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Answer one frame. Returns the reply line and whether this frame asked
+/// the daemon (or just this connection) to stop.
+fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    REQUESTS.inc();
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err((id, err)) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            ERRORS.inc();
+            return (protocol::render_error(id, &err), false);
+        }
+    };
+    let id = req.id;
+    match req.op {
+        Op::Ping => (protocol::render_pong(id), false),
+        Op::Select { collective, job } => {
+            let t0 = shared.clock.now_nanos();
+            let (algo, depth) = shared.tuner.select_traced(collective, job);
+            SELECT_LATENCY.observe(shared.clock.now_nanos().saturating_sub(t0));
+            (protocol::render_select(id, algo, depth), false)
+        }
+        Op::Predict {
+            cluster,
+            collective,
+            job,
+        } => {
+            let t0 = shared.clock.now_nanos();
+            let outcome = shared.batcher.submit(&cluster, collective, job);
+            PREDICT_LATENCY.observe(shared.clock.now_nanos().saturating_sub(t0));
+            match outcome {
+                Ok(algo) => (protocol::render_predict(id, algo), false),
+                Err(err) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    ERRORS.inc();
+                    (protocol::render_error(id, &err), false)
+                }
+            }
+        }
+        Op::Stats => (protocol::render_ok(id, stats_fields(shared)), false),
+        Op::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            (
+                protocol::render_ok(id, vec![("stopping".to_string(), Value::Bool(true))]),
+                true,
+            )
+        }
+    }
+}
+
+fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
+    let (hits, misses) = shared.tuner.stats();
+    let names = |cs: &[Collective]| {
+        Value::Array(
+            cs.iter()
+                .map(|c| Value::Str(protocol::collective_wire_name(*c).to_string()))
+                .collect(),
+        )
+    };
+    vec![
+        (
+            "requests".to_string(),
+            Value::UInt(shared.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "errors".to_string(),
+            Value::UInt(shared.errors.load(Ordering::Relaxed)),
+        ),
+        ("cache_hits".to_string(), Value::UInt(hits)),
+        ("cache_misses".to_string(), Value::UInt(misses)),
+        (
+            "cached_decisions".to_string(),
+            Value::UInt(shared.tuner.cached_decisions() as u64),
+        ),
+        ("tables".to_string(), names(&shared.tuner.covered())),
+        ("models".to_string(), names(&shared.model_coverage)),
+    ]
+}
+
+/// Convenience for binaries: install signal handlers, bind, run.
+pub fn serve(cfg: &ServeConfig) -> Result<(), ServeError> {
+    let term = signal::install_termination_flag();
+    let server = Server::bind(cfg)?;
+    for w in server.warnings() {
+        eprintln!("warning: {w}");
+    }
+    server.run(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pml_collectives::{Algorithm, AlltoallAlgo};
+    use pml_core::TuningTable;
+
+    fn test_tuner() -> Tuner {
+        let mut t = TuningTable::new("X", Collective::Alltoall);
+        t.insert(2, 8, 64, Algorithm::Alltoall(AlltoallAlgo::Bruck))
+            .unwrap();
+        t.insert(2, 8, 65536, Algorithm::Alltoall(AlltoallAlgo::Pairwise))
+            .unwrap();
+        Tuner::new([t])
+    }
+
+    fn test_shared() -> Shared {
+        Shared {
+            tuner: test_tuner(),
+            batcher: Batcher::new(BTreeMap::new(), BatchConfig::default()),
+            model_coverage: Vec::new(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            clock: MonotonicClock::new(),
+        }
+    }
+
+    fn obj_get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+        v.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    #[test]
+    fn select_frames_answer_from_the_table() {
+        let shared = test_shared();
+        let (reply, stop) = handle_line(
+            &shared,
+            r#"{"v":"pml-serve/v1","id":1,"op":"select","collective":"alltoall","nodes":2,"ppn":8,"msg_size":64}"#,
+        );
+        assert!(!stop);
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(obj_get(&v, "ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            obj_get(&v, "algorithm").and_then(Value::as_str),
+            Some("bruck")
+        );
+        assert_eq!(obj_get(&v, "depth").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn bad_frames_get_typed_error_replies_and_count_as_errors() {
+        let shared = test_shared();
+        for line in ["{oops", r#"{"v":"pml-serve/v1","op":"dance"}"#] {
+            let (reply, stop) = handle_line(&shared, line);
+            assert!(!stop, "an error never closes the connection");
+            let v: Value = serde_json::from_str(&reply).unwrap();
+            assert_eq!(obj_get(&v, "ok").and_then(Value::as_bool), Some(false));
+            assert!(obj_get(&v, "error").is_some());
+        }
+        assert_eq!(shared.errors.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.requests.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn predict_without_models_is_unsupported_not_a_crash() {
+        let shared = test_shared();
+        let (reply, _) = handle_line(
+            &shared,
+            r#"{"v":"pml-serve/v1","id":9,"op":"predict","cluster":"Frontera","collective":"alltoall","nodes":2,"ppn":8,"msg_size":64}"#,
+        );
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(obj_get(&v, "ok").and_then(Value::as_bool), Some(false));
+        let err = obj_get(&v, "error").unwrap();
+        assert_eq!(
+            obj_get(err, "kind").and_then(Value::as_str),
+            Some("unsupported")
+        );
+    }
+
+    #[test]
+    fn shutdown_frame_stops_the_daemon() {
+        let shared = test_shared();
+        let (reply, stop) = handle_line(&shared, r#"{"v":"pml-serve/v1","op":"shutdown"}"#);
+        assert!(stop);
+        assert!(shared.shutdown.load(Ordering::Relaxed));
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(obj_get(&v, "ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let dir = std::env::temp_dir().join(format!("pml-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("pml.sock");
+        let server = Server::with_artifacts(
+            &socket,
+            LoadedArtifacts {
+                tuner: test_tuner(),
+                models: BTreeMap::new(),
+                warnings: Vec::new(),
+            },
+            BatchConfig::default(),
+        )
+        .unwrap();
+        let term = Arc::new(AtomicBool::new(false));
+        let t = Arc::clone(&term);
+        let daemon = std::thread::spawn(move || server.run(&t));
+
+        let mut client = UnixStream::connect(&socket).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut ask = |line: &str| -> Value {
+            client.write_all(line.as_bytes()).unwrap();
+            client.write_all(b"\n").unwrap();
+            client.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            serde_json::from_str(reply.trim()).unwrap()
+        };
+
+        let pong = ask(r#"{"v":"pml-serve/v1","id":1,"op":"ping"}"#);
+        assert_eq!(obj_get(&pong, "pong").and_then(Value::as_bool), Some(true));
+
+        let sel = ask(
+            r#"{"v":"pml-serve/v1","id":2,"op":"select","collective":"alltoall","nodes":2,"ppn":8,"msg_size":65536}"#,
+        );
+        assert_eq!(
+            obj_get(&sel, "algorithm").and_then(Value::as_str),
+            Some("pairwise")
+        );
+
+        // Malformed frame: typed error, connection survives.
+        let bad = ask("{nope");
+        assert_eq!(obj_get(&bad, "ok").and_then(Value::as_bool), Some(false));
+        let still = ask(r#"{"v":"pml-serve/v1","id":3,"op":"ping"}"#);
+        assert_eq!(obj_get(&still, "id").and_then(Value::as_u64), Some(3));
+
+        let stats = ask(r#"{"v":"pml-serve/v1","op":"stats"}"#);
+        assert!(obj_get(&stats, "requests").and_then(Value::as_u64).unwrap() >= 4);
+
+        let bye = ask(r#"{"v":"pml-serve/v1","op":"shutdown"}"#);
+        assert_eq!(
+            obj_get(&bye, "stopping").and_then(Value::as_bool),
+            Some(true)
+        );
+
+        daemon.join().unwrap().unwrap();
+        assert!(!socket.exists(), "socket file removed on clean shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn external_termination_flag_stops_run() {
+        let dir = std::env::temp_dir().join(format!("pml-serve-term-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("pml.sock");
+        let server = Server::with_artifacts(
+            &socket,
+            LoadedArtifacts {
+                tuner: test_tuner(),
+                models: BTreeMap::new(),
+                warnings: Vec::new(),
+            },
+            BatchConfig::default(),
+        )
+        .unwrap();
+        let term = Arc::new(AtomicBool::new(false));
+        let t = Arc::clone(&term);
+        let daemon = std::thread::spawn(move || server.run(&t));
+        term.store(true, Ordering::Relaxed);
+        daemon.join().unwrap().unwrap();
+        assert!(!socket.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

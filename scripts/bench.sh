@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Records the training/inference perf point for this checkout: runs the
-# criterion benches covering forest fitting (histogram-binned vs exact
-# split finding) and batched inference, parses the ns/iter lines, and
-# writes BENCH_train_infer.json at the repo root. The headline number is
-# fit_speedup_binned_vs_exact — the wall-clock ratio of the two 40-tree
-# forest fits at dataset-zoo scale.
+# Records the perf points for this checkout:
+#
+# - BENCH_train_infer.json — the criterion benches covering forest
+#   fitting (histogram-binned vs exact split finding) and batched
+#   inference, parsed from the ns/iter lines. The headline number is
+#   fit_speedup_binned_vs_exact — the wall-clock ratio of the two
+#   40-tree forest fits at dataset-zoo scale.
+# - BENCH_serve.json — serving-path latency/throughput: loadgen drives
+#   100k concurrent requests through a running `pml-mpi serve` daemon
+#   and records p50/p99/p999 round-trip latency plus requests/sec.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,3 +66,53 @@ rm -f "$metrics"
 
 echo "wrote $out"
 cat "$out"
+
+# Serving-path perf point: boot the daemon on a tiny hand-written table
+# artifact (real table generation re-runs the micro-benchmarks — minutes,
+# not seconds) and hammer it with loadgen. The loadgen CLI itself writes
+# the JSON document, including the percentile ladder.
+serve_out=BENCH_serve.json
+work=$(mktemp -d)
+serve_pid=""
+serve_cleanup() {
+    [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap serve_cleanup EXIT
+mkdir -p "$work/art"
+cat > "$work/art/bench_alltoall.json" <<'EOF'
+{
+  "cluster": "bench",
+  "collective": "Alltoall",
+  "entries": [
+    {"nodes": 2, "ppn": 4, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 2, "ppn": 4, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}},
+    {"nodes": 2, "ppn": 8, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 2, "ppn": 8, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}},
+    {"nodes": 4, "ppn": 4, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 4, "ppn": 4, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}},
+    {"nodes": 4, "ppn": 8, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 4, "ppn": 8, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}}
+  ]
+}
+EOF
+sock="$work/pml.sock"
+target/release/pml-mpi serve --socket "$sock" --model "$work/art" \
+    >"$work/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.05
+done
+if [[ -S "$sock" ]]; then
+    target/release/pml-mpi loadgen --socket "$sock" \
+        --requests 100000 --threads 8 --seed 42 \
+        --date "$stamp" --rev "$rev" --out "$serve_out"
+    kill -TERM "$serve_pid" && wait "$serve_pid"
+    serve_pid=""
+    echo "wrote $serve_out"
+    cat "$serve_out"
+else
+    sed 's/^/bench: daemon: /' "$work/serve.log" >&2
+    echo "warning: serve daemon never bound, skipping $serve_out" >&2
+fi

@@ -38,6 +38,9 @@ cargo test -q
 echo "==> obs-determinism lane"
 ./scripts/obs_determinism.sh
 
+echo "==> serve smoke lane"
+./scripts/serve_smoke.sh
+
 echo "==> cargo bench -- --test (smoke: each bench runs once)"
 cargo bench -p pml-bench -- --test
 

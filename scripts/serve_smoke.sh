@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Serve-lane smoke test: boots `pml-mpi serve` against a tiny hand-written
+# tuning-table artifact, drives the pml-serve/v1 protocol end to end
+# through `pml-mpi client` — good frames, a malformed frame, a truncated
+# frame (the daemon must answer with typed errors, never drop the
+# connection) — fires a short loadgen burst, then SIGTERMs the daemon and
+# asserts a clean shutdown: exit code 0 and the socket file removed.
+# Any mismatch exits nonzero. ci.sh runs this lane on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=target/release/pml-mpi
+[[ -x "$bin" ]] || cargo build --release --bin pml-mpi
+
+work=$(mktemp -d)
+sock="$work/pml.sock"
+pid=""
+cleanup() {
+    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    [[ -s "$work/serve.log" ]] && sed 's/^/serve_smoke: daemon: /' "$work/serve.log" >&2
+    exit 1
+}
+
+# `expect <desc> <needle> <actual>`: substring assertion with context.
+expect() {
+    case "$3" in
+        *"$2"*) ;;
+        *) fail "$1: expected to contain '$2', got: $3" ;;
+    esac
+}
+
+# A minimal but verifier-complete artifact: a full 2x2x2 grid for
+# Alltoall on a synthetic "smoke" cluster. Hand-written because real
+# table generation re-runs the micro-benchmarks (minutes, not seconds).
+mkdir -p "$work/art"
+cat > "$work/art/smoke_alltoall.json" <<'EOF'
+{
+  "cluster": "smoke",
+  "collective": "Alltoall",
+  "entries": [
+    {"nodes": 2, "ppn": 4, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 2, "ppn": 4, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}},
+    {"nodes": 2, "ppn": 8, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 2, "ppn": 8, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}},
+    {"nodes": 4, "ppn": 4, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 4, "ppn": 4, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}},
+    {"nodes": 4, "ppn": 8, "msg_size": 1024, "algorithm": {"Alltoall": "Bruck"}},
+    {"nodes": 4, "ppn": 8, "msg_size": 65536, "algorithm": {"Alltoall": "Pairwise"}}
+  ]
+}
+EOF
+"$bin" verify "$work/art/smoke_alltoall.json" >/dev/null || fail "smoke artifact rejected by verifier"
+
+echo "==> starting daemon"
+"$bin" serve --socket "$sock" --model "$work/art" >"$work/serve.log" 2>&1 &
+pid=$!
+for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    kill -0 "$pid" 2>/dev/null || fail "daemon died before binding"
+    sleep 0.05
+done
+[[ -S "$sock" ]] || fail "socket never appeared at $sock"
+
+echo "==> protocol round-trip"
+replies=$(printf '%s\n' \
+    '{"v":"pml-serve/v1","id":1,"op":"ping"}' \
+    '{"v":"pml-serve/v1","id":2,"op":"select","collective":"alltoall","nodes":2,"ppn":4,"msg_size":1024}' \
+    '{"v":"pml-serve/v1","id":3,"op":"select","collective":"alltoall","nodes":4,"ppn":8,"msg_size":65536}' \
+    '{bad json' \
+    '{"v":"pml-serve/v1","id":5,"op":"sel' \
+    '{"v":"pml-serve/v1","id":6,"op":"frobnicate"}' \
+    '{"v":"pml-serve/v1","id":7,"op":"stats"}' \
+    | "$bin" client --socket "$sock")
+mapfile -t r <<< "$replies"
+[[ ${#r[@]} -eq 7 ]] || fail "expected 7 replies, got ${#r[@]}: $replies"
+expect "ping reply"            '"pong":true'        "${r[0]}"
+expect "exact small select"    '"algorithm":"bruck"' "${r[1]}"
+expect "exact small select"    '"depth":0'           "${r[1]}"
+expect "exact large select"    '"algorithm":"pairwise"' "${r[2]}"
+expect "malformed frame"       '"ok":false'          "${r[3]}"
+expect "malformed frame"       '"kind":"parse"'      "${r[3]}"
+expect "truncated frame"       '"kind":"parse"'      "${r[4]}"
+expect "unknown op"            '"kind":"op"'         "${r[5]}"
+expect "unknown op echoes id"  '"id":6'              "${r[5]}"
+expect "stats after errors"    '"ok":true'           "${r[6]}"
+expect "stats counts requests" '"requests":'         "${r[6]}"
+
+echo "==> loadgen burst"
+"$bin" loadgen --socket "$sock" --requests 2000 --threads 4 \
+    --out "$work/bench.json" >/dev/null 2>&1 \
+    || fail "loadgen reported bad replies or could not connect"
+expect "loadgen output" '"p99":' "$(cat "$work/bench.json")"
+
+echo "==> clean shutdown on SIGTERM"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[[ $rc -eq 0 ]] || fail "daemon exited $rc on SIGTERM (want 0)"
+[[ -S "$sock" ]] && fail "socket file survived shutdown"
+grep -q "clean shutdown" "$work/serve.log" || fail "daemon log missing clean-shutdown line"
+
+echo "serve smoke lane passed."

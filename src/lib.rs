@@ -18,14 +18,16 @@
 //! - [`obs`] — structured tracing, the metrics registry, and the leveled
 //!   event sink behind `--trace` / `--metrics-out`;
 //! - [`apps`] — mini-app communication patterns used for end-to-end
-//!   evaluation.
+//!   evaluation;
+//! - [`serve`] — the selection path as a daemon: NDJSON over a Unix
+//!   domain socket, request batching, `pml-mpi serve` / `loadgen`.
 //!
 //! # Quick start
 //!
 //! ```no_run
 //! use pml_mpi::{Collective, EngineConfig, JobConfig, SelectionEngine};
 //!
-//! let mut engine = SelectionEngine::new(EngineConfig::default());
+//! let engine = SelectionEngine::new(EngineConfig::default());
 //! let algo = engine
 //!     .predict("Frontera", Collective::Allgather, JobConfig::new(16, 56, 4096))
 //!     .expect("known cluster");
@@ -43,6 +45,7 @@ pub use pml_collectives as collectives;
 pub use pml_core as core;
 pub use pml_mlcore as mlcore;
 pub use pml_obs as obs;
+pub use pml_serve as serve;
 pub use pml_simnet as simnet;
 
 // The flat API: the types a typical consumer touches, one import away.

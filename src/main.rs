@@ -1,6 +1,6 @@
 //! `pml-mpi` — command-line front end for the selection framework.
 //!
-//! Eight subcommands cover the offline → online lifecycle:
+//! Eleven subcommands cover the offline → online lifecycle:
 //!
 //! ```text
 //! zoo       list the 18-cluster benchmark zoo
@@ -11,6 +11,9 @@
 //! compare   ML pick vs library defaults vs oracle over a message sweep
 //! verify    statically verify model / tuning-table artifacts
 //! stats     run a small pipeline and dump spans, metrics, and events
+//! serve     answer selection queries over a Unix domain socket (pml-serve/v1)
+//! loadgen   replay synthetic requests against a daemon, record latency
+//! client    pipe stdin NDJSON frames to a daemon, replies to stdout
 //! ```
 //!
 //! Two global options work on every subcommand: `--trace` renders the span
@@ -97,6 +100,18 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
             let _span = span!("cmd.stats");
             cmd_stats(&args[1..])
         }
+        Some("serve") => {
+            let _span = span!("cmd.serve");
+            cmd_serve(&args[1..])
+        }
+        Some("loadgen") => {
+            let _span = span!("cmd.loadgen");
+            cmd_loadgen(&args[1..])
+        }
+        Some("client") => {
+            let _span = span!("cmd.client");
+            cmd_client(&args[1..])
+        }
         Some(other) => Err(format!("unknown subcommand {other:?} — run `pml-mpi help`").into()),
     }
 }
@@ -178,6 +193,9 @@ SUBCOMMANDS:
   compare <cluster> <collective>   ML vs library defaults vs oracle
   verify <FILE>...                 statically verify artifact files
   stats [<collective>]             run a small pipeline, dump spans/metrics/events
+  serve --socket PATH --model DIR  selection daemon over a Unix domain socket
+  loadgen --socket PATH            replay synthetic requests, record latency
+  client --socket PATH             stdin NDJSON frames -> socket -> stdout
   help                             show this message
 
 GLOBAL OPTIONS (any subcommand):
@@ -205,6 +223,25 @@ COMPARE OPTIONS:
   --nodes N --ppn P [--msg BYTES]  fixed job shape; without --msg a
                                    1 B … 1 MiB power-of-two sweep runs
 
+SERVE OPTIONS:
+  --socket PATH     Unix domain socket to listen on (required)
+  --model DIR       artifact dir: tuning tables as DIR/*.json, pre-trained
+                    models as DIR/models/*.json (required)
+  --queue-depth N   predict batch queue bound (default 4096)
+  --max-batch N     rows per batched forest inference (default 128)
+  --window-us US    batching window in microseconds (default 200)
+
+LOADGEN OPTIONS:
+  --socket PATH     daemon socket to replay against (required)
+  --requests N      total requests across all threads (default 100000)
+  --threads T       concurrent client connections (default 4)
+  --collective C    collective to query (default alltoall)
+  --op OP           select | predict (default select)
+  --seed N          job-shape sampling seed (default 42)
+  --out FILE        write the BENCH JSON document (default: stdout)
+  --date TS         ISO timestamp stamped into the JSON (default: null)
+  --rev REV         git revision stamped into the JSON (default: null)
+
 EXAMPLES:
   pml-mpi train allgather --out model_ag.json
   pml-mpi predict allgather --cluster Frontera --nodes 16 --ppn 56 --msg 4096
@@ -214,7 +251,11 @@ EXAMPLES:
   pml-mpi table RI alltoall --trace --metrics-out metrics.json
   pml-mpi compare Frontera alltoall --nodes 16 --ppn 56
   pml-mpi verify model_ag.json frontera_allgather.json
-  pml-mpi stats alltoall --cluster RI"
+  pml-mpi stats alltoall --cluster RI
+  pml-mpi serve --socket /tmp/pml.sock --model artifacts/
+  printf '{{\"v\":\"pml-serve/v1\",\"id\":1,\"op\":\"select\",\"collective\":\"alltoall\",\
+\"nodes\":4,\"ppn\":8,\"msg_size\":1024}}\\n' | pml-mpi client --socket /tmp/pml.sock
+  pml-mpi loadgen --socket /tmp/pml.sock --requests 100000 --threads 8 --out BENCH_serve.json"
     );
 }
 
@@ -357,7 +398,7 @@ fn cmd_dataset(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Err("usage: pml-mpi dataset <collective> [--out FILE]".into());
     };
     let coll = parse_collective(coll)?;
-    let mut engine = build_engine(&opts);
+    let engine = build_engine(&opts);
     let records = engine.dataset(coll)?;
     report_warnings(&engine);
     let mut per_cluster: BTreeMap<&str, usize> = BTreeMap::new();
@@ -387,8 +428,8 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Err("usage: pml-mpi train <collective> [--out FILE]".into());
     };
     let coll = parse_collective(coll)?;
-    let mut engine = build_engine(&opts);
-    let model = engine.train(coll)?.clone();
+    let engine = build_engine(&opts);
+    let model = engine.train(coll)?;
     report_warnings(&engine);
     let features: Vec<&str> = model
         .selected_features()
@@ -489,11 +530,11 @@ fn cmd_predict(args: &[String]) -> Result<(), Box<dyn Error>> {
                     format!("model in {path} is for {}, not {coll}", model.collective).into(),
                 );
             }
-            model
+            std::sync::Arc::new(model)
         }
         None => {
-            let mut engine = build_engine(&opts);
-            let model = engine.train(coll)?.clone();
+            let engine = build_engine(&opts);
+            let model = engine.train(coll)?;
             report_warnings(&engine);
             model
         }
@@ -516,8 +557,8 @@ fn cmd_table(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Err("usage: pml-mpi table <cluster> <collective> [--out FILE]".into());
     };
     let coll = parse_collective(coll)?;
-    let mut engine = build_engine(&opts);
-    let table = engine.tuning_table(cluster, coll)?.clone();
+    let engine = build_engine(&opts);
+    let table = engine.tuning_table(cluster, coll)?;
     report_warnings(&engine);
     eprintln!("{cluster} {coll}: {} table entries", table.len());
     write_or_print(opts.get("out"), &table.to_json()?, "tuning table")
@@ -537,9 +578,9 @@ fn cmd_compare(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some(_) => vec![opts.require_usize("msg")?],
         None => (0..21).map(|i| 1usize << i).collect(),
     };
-    let mut engine = build_engine(&opts);
+    let engine = build_engine(&opts);
     let entry = engine.entry(cluster)?.clone();
-    let model = engine.train(coll)?.clone();
+    let model = engine.train(coll)?;
     report_warnings(&engine);
     let mva = MvapichDefault;
     let ompi = OpenMpiDefault;
@@ -624,8 +665,8 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn Error>> {
         _ => return Err("usage: pml-mpi stats [<collective>] [--cluster NAME]".into()),
     };
     let cluster = opts.get("cluster").unwrap_or("RI");
-    let mut engine = build_engine(&opts);
-    let table = engine.tuning_table(cluster, coll)?.clone();
+    let engine = build_engine(&opts);
+    let table = engine.tuning_table(cluster, coll)?;
 
     // Exercise the runtime path too: probe the fresh table on-grid (exact
     // cell), repeated (memo hit), off-grid (nearest bucket), and at an odd
@@ -663,5 +704,274 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn Error>> {
         );
     }
     eprintln!("\nspan tree (total/self times) follows on stderr:");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Serving: the selection path as a daemon (crates/serve)
+
+/// Per-request client-side latency of `loadgen` round-trips, through the
+/// shared metrics registry so `--metrics-out` captures the distribution
+/// next to the daemon-side histograms.
+static LOADGEN_LATENCY: obs::Histogram =
+    obs::Histogram::new("loadgen.rtt.latency_ns", &obs::LATENCY_NS_BOUNDS);
+
+fn parse_flag_or<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Result<T, String> {
+    match opts.get(name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn batch_config_from(opts: &Opts) -> Result<pml_mpi::serve::BatchConfig, String> {
+    let defaults = pml_mpi::serve::BatchConfig::default();
+    Ok(pml_mpi::serve::BatchConfig {
+        queue_depth: parse_flag_or(opts, "queue-depth", defaults.queue_depth)?,
+        max_batch: parse_flag_or(opts, "max-batch", defaults.max_batch)?,
+        window: std::time::Duration::from_micros(parse_flag_or(
+            opts,
+            "window-us",
+            defaults.window.as_micros() as u64,
+        )?),
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(
+        args,
+        &["socket", "model", "queue-depth", "max-batch", "window-us"],
+        &[],
+    )?;
+    let socket = PathBuf::from(opts.get("socket").ok_or("missing required --socket PATH")?);
+    let model_dir = PathBuf::from(opts.get("model").ok_or("missing required --model DIR")?);
+    let cfg = pml_mpi::serve::ServeConfig {
+        socket: socket.clone(),
+        model_dir,
+        batch: batch_config_from(&opts)?,
+    };
+    let term = pml_mpi::serve::install_termination_flag();
+    let server = pml_mpi::serve::Server::bind(&cfg)?;
+    for w in server.warnings() {
+        eprintln!("warning: {w}");
+    }
+    eprintln!(
+        "pml-serve/v1 listening on {} (SIGTERM or a shutdown frame stops it)",
+        socket.display()
+    );
+    server.run(term)?;
+    eprintln!("pml-serve: clean shutdown");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use std::io::{BufRead, BufReader, Write};
+    let opts = Opts::parse(args, &["socket"], &[])?;
+    let socket = opts.get("socket").ok_or("missing required --socket PATH")?;
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("connecting to {socket}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        print!("{reply}");
+    }
+    Ok(())
+}
+
+/// One loadgen worker: its own connection, its own seeded rng, synchronous
+/// round-trips. Returns (per-request ns, non-ok reply count).
+fn loadgen_worker(
+    socket: &str,
+    count: usize,
+    seed: u64,
+    collective: Collective,
+    op: &str,
+) -> Result<(Vec<u64>, u64), String> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("connecting to {socket}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cloning stream: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zoo = pml_mpi::zoo();
+    let coll = pml_mpi::serve::collective_wire_name(collective);
+    let mut latencies = Vec::with_capacity(count);
+    let mut bad_replies = 0u64;
+    let mut reply = String::with_capacity(256);
+    for id in 0..count {
+        // Sample a job shape from a random zoo cluster's benchmark grids;
+        // a quarter of the messages are nudged off-grid so the daemon's
+        // nearest-bucket path is exercised, not just exact cells.
+        let entry = &zoo[rng.gen_range(0..zoo.len())];
+        let nodes = entry.node_grid[rng.gen_range(0..entry.node_grid.len())];
+        let ppn = entry.ppn_grid[rng.gen_range(0..entry.ppn_grid.len())];
+        let mut msg = entry.msg_grid[rng.gen_range(0..entry.msg_grid.len())];
+        if rng.gen_bool(0.25) {
+            msg += 3;
+        }
+        let line = match op {
+            "predict" => format!(
+                r#"{{"v":"pml-serve/v1","id":{id},"op":"predict","cluster":"{}","collective":"{coll}","nodes":{nodes},"ppn":{ppn},"msg_size":{msg}}}"#,
+                entry.name()
+            ),
+            _ => format!(
+                r#"{{"v":"pml-serve/v1","id":{id},"op":"select","collective":"{coll}","nodes":{nodes},"ppn":{ppn},"msg_size":{msg}}}"#
+            ),
+        };
+        let t0 = std::time::Instant::now();
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("request {id}: write: {e}"))?;
+        reply.clear();
+        let n = reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("request {id}: read: {e}"))?;
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if n == 0 {
+            return Err(format!("daemon closed the connection at request {id}"));
+        }
+        latencies.push(ns);
+        LOADGEN_LATENCY.observe(ns);
+        // The compact renderer never inserts spaces, so this substring
+        // check is an exact ok-flag probe without a per-reply JSON parse.
+        if !reply.contains(r#""ok":true"#) {
+            bad_replies += 1;
+        }
+    }
+    Ok((latencies, bad_replies))
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "socket",
+            "requests",
+            "threads",
+            "seed",
+            "collective",
+            "op",
+            "out",
+            "date",
+            "rev",
+        ],
+        &[],
+    )?;
+    let socket = opts
+        .get("socket")
+        .ok_or("missing required --socket PATH")?
+        .to_string();
+    let total: usize = parse_flag_or(&opts, "requests", 100_000)?;
+    let threads: usize = parse_flag_or::<usize>(&opts, "threads", 4)?.clamp(1, 256);
+    let seed: u64 = parse_flag_or(&opts, "seed", 42)?;
+    let collective = parse_collective(opts.get("collective").unwrap_or("alltoall"))?;
+    let op = opts.get("op").unwrap_or("select").to_string();
+    if op != "select" && op != "predict" {
+        return Err(format!("--op expects select or predict, got {op:?}").into());
+    }
+
+    let start = std::time::Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|i| {
+            let socket = socket.clone();
+            let op = op.clone();
+            let count = total / threads + usize::from(i < total % threads);
+            std::thread::spawn(move || {
+                loadgen_worker(&socket, count, seed.wrapping_add(i as u64), collective, &op)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut bad_replies = 0u64;
+    for handle in workers {
+        let (lat, bad) = handle
+            .join()
+            .map_err(|_| "loadgen worker panicked".to_string())??;
+        latencies.extend(lat);
+        bad_replies += bad;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    if latencies.is_empty() {
+        return Err("no requests completed".into());
+    }
+    latencies.sort_unstable();
+
+    let pct = |q: f64| {
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let sum_ns: u64 = latencies.iter().sum();
+    let throughput = latencies.len() as f64 / wall_s.max(1e-9);
+    let stamp = |key: &str| match opts.get(key) {
+        Some(v) => serde_json::JsonValue::Str(v.to_string()),
+        None => serde_json::JsonValue::Null,
+    };
+    let uint = |v: u64| serde_json::JsonValue::UInt(v);
+    let doc = serde_json::JsonValue::Object(vec![
+        ("date".to_string(), stamp("date")),
+        ("rev".to_string(), stamp("rev")),
+        (
+            "socket".to_string(),
+            serde_json::JsonValue::Str(socket.clone()),
+        ),
+        ("op".to_string(), serde_json::JsonValue::Str(op.clone())),
+        (
+            "collective".to_string(),
+            serde_json::JsonValue::Str(
+                pml_mpi::serve::collective_wire_name(collective).to_string(),
+            ),
+        ),
+        ("requests".to_string(), uint(latencies.len() as u64)),
+        ("threads".to_string(), uint(threads as u64)),
+        ("errors".to_string(), uint(bad_replies)),
+        ("wall_s".to_string(), serde_json::JsonValue::Float(wall_s)),
+        (
+            "throughput_rps".to_string(),
+            serde_json::JsonValue::Float(throughput),
+        ),
+        (
+            "latency_ns".to_string(),
+            serde_json::JsonValue::Object(vec![
+                ("min".to_string(), uint(latencies[0])),
+                ("p50".to_string(), uint(pct(0.50))),
+                ("p99".to_string(), uint(pct(0.99))),
+                ("p999".to_string(), uint(pct(0.999))),
+                ("max".to_string(), uint(latencies[latencies.len() - 1])),
+                ("mean".to_string(), uint(sum_ns / latencies.len() as u64)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("rendering JSON: {e}"))?;
+    write_or_print(opts.get("out"), &json, "loadgen report")?;
+    eprintln!(
+        "{} requests in {wall_s:.2}s over {threads} connection(s): {throughput:.0} req/s, \
+         p50 {} ns, p99 {} ns, p999 {} ns",
+        latencies.len(),
+        pct(0.50),
+        pct(0.99),
+        pct(0.999)
+    );
+    if bad_replies > 0 {
+        return Err(format!("{bad_replies} request(s) got a non-ok reply").into());
+    }
     Ok(())
 }

@@ -38,6 +38,7 @@ pub fn mini_engine() -> SelectionEngine {
 }
 
 pub fn mini_model(collective: Collective) -> PretrainedModel {
-    let mut engine = mini_engine();
-    engine.train(collective).expect("training succeeds").clone()
+    let engine = mini_engine();
+    let model = engine.train(collective).expect("training succeeds");
+    (*model).clone()
 }

@@ -42,7 +42,7 @@ fn datagen_is_identical_across_runs() {
 #[test]
 fn trained_model_json_is_byte_identical_for_identical_seeds() {
     let model_json = || {
-        let mut engine = common::mini_engine();
+        let engine = common::mini_engine();
         engine
             .train(Collective::Allgather)
             .expect("training succeeds")
@@ -61,7 +61,7 @@ fn trained_model_json_is_byte_identical_for_identical_seeds() {
 #[test]
 fn tuning_table_json_is_byte_identical_for_identical_seeds() {
     let table_json = || {
-        let mut engine = common::mini_engine();
+        let engine = common::mini_engine();
         engine
             .tuning_table("RI", Collective::Allgather)
             .expect("table generates")

@@ -11,7 +11,7 @@ use pml_mpi::Collective;
 use std::sync::Arc;
 
 fn ri_alltoall_table_json() -> String {
-    let mut engine = common::mini_engine();
+    let engine = common::mini_engine();
     engine
         .tuning_table("RI", Collective::Alltoall)
         .expect("tuning table")
@@ -46,7 +46,7 @@ fn artifacts_are_byte_identical_with_observability_on_or_off() {
 
 #[test]
 fn one_train_table_flow_populates_at_least_ten_metrics() {
-    let mut engine = common::mini_engine();
+    let engine = common::mini_engine();
     engine.train(Collective::Alltoall).expect("train");
     engine
         .tuning_table("RI", Collective::Alltoall)
