@@ -31,7 +31,11 @@ fn slowdown(model: &PretrainedModel, test: &[pml_clusters::TuningRecord]) -> f64
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for r in test {
-        let entry = pml_clusters::by_name(&r.cluster).unwrap();
+        // A record naming an unregistered cluster has no spec to predict
+        // from; drop it from the geomean like the `slowdown_of` None path.
+        let Some(entry) = pml_clusters::by_name(&r.cluster) else {
+            continue;
+        };
         let pick = model.predict(&entry.spec.node, JobConfig::new(r.nodes, r.ppn, r.msg_size));
         if let Some(s) = r.slowdown_of(pick) {
             log_sum += s.ln();

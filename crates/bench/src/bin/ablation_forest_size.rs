@@ -16,7 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ((train, test), held) = cluster_split_auto(&records, 0.7, 7)?;
     eprintln!("held-out clusters: {held:?}");
     let test_data = records_to_dataset(&test, coll)?;
-    let frontera = pml_clusters::by_name("Frontera").unwrap();
+    let frontera =
+        pml_clusters::by_name("Frontera").ok_or("cluster Frontera missing from the registry")?;
 
     let mut rows = Vec::new();
     for (trees, depth) in [

@@ -27,6 +27,7 @@ pub mod bcast;
 pub mod exec;
 pub mod hierarchical;
 pub mod measure;
+pub mod schedcheck;
 pub mod schedule;
 pub mod verify;
 
@@ -34,4 +35,7 @@ pub use algo::{Algorithm, AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo,
 pub use exec::SimResult;
 pub use hierarchical::two_level_allgather;
 pub use measure::{measure, measure_noisy, measure_sweep, rank_algorithms, MeasureConfig};
+pub use schedcheck::{
+    check_algorithm, check_schedule, sweep_grid, SchedError, ScheduleDoc, Spec, SCHED_DOC_VERSION,
+};
 pub use schedule::{Buf, CommSchedule, Op, Region, ScheduleBuilder, Step};

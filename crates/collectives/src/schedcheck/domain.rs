@@ -1,0 +1,180 @@
+//! The abstract domain: byte-granular provenance multisets.
+//!
+//! Every byte of every buffer is tracked as either ⊥ (never written since
+//! the executor's zero-initialization) or the *multiset* of input bytes
+//! whose wrapping sum it holds. A singleton multiset is a verbatim copy;
+//! [`Op::Combine`](crate::schedule::Op) unions multisets. Because the
+//! executors reduce with wrapping byte addition — commutative and
+//! associative — the multiset fully determines the concrete byte value
+//! given the inputs, so exact equality against a collective's declarative
+//! spec ([`super::Spec`]) proves byte-level correctness without running
+//! anything.
+
+use super::{OpRef, SchedError};
+use crate::schedule::{Buf, CommSchedule, Region};
+use std::fmt;
+
+/// One contribution to a byte's value: byte `offset` of rank `rank`'s
+/// read-only Input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceByte {
+    pub rank: u32,
+    pub offset: usize,
+}
+
+impl fmt::Display for SourceByte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}@{}", self.rank, self.offset)
+    }
+}
+
+/// Abstract value of one buffer byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsByte {
+    /// Never written; concretely zero, but reading it is an error because
+    /// no collective's spec is allowed to depend on zero-initialization.
+    Uninit,
+    /// Wrapping sum of the listed input bytes, kept as a sorted multiset.
+    Sum(Vec<SourceByte>),
+}
+
+impl AbsByte {
+    /// A verbatim copy of one input byte.
+    pub fn source(rank: u32, offset: usize) -> Self {
+        AbsByte::Sum(vec![SourceByte { rank, offset }])
+    }
+
+    /// The reduction `self ⊕ other`; `None` if either side is ⊥.
+    pub fn combine(&self, other: &AbsByte) -> Option<AbsByte> {
+        match (self, other) {
+            (AbsByte::Sum(a), AbsByte::Sum(b)) => {
+                let mut v = Vec::with_capacity(a.len() + b.len());
+                v.extend_from_slice(a);
+                v.extend_from_slice(b);
+                v.sort_unstable();
+                Some(AbsByte::Sum(v))
+            }
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering for error messages: `⊥` or `r0@3 + r1@3`.
+    pub fn render(&self) -> String {
+        match self {
+            AbsByte::Uninit => "⊥".to_string(),
+            AbsByte::Sum(v) => {
+                let parts: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+                parts.join(" + ")
+            }
+        }
+    }
+}
+
+/// Abstract state of one rank's writable buffers. The Input buffer needs
+/// no storage: reading its byte `j` always yields `source(rank, j)`.
+#[derive(Debug, Clone)]
+pub struct RankAbs {
+    pub work: Vec<AbsByte>,
+    pub aux: Vec<AbsByte>,
+}
+
+impl RankAbs {
+    /// Initial state: everything ⊥, except Work's first `input_len` bytes
+    /// when the schedule runs in place (the MPI_IN_PLACE convention).
+    pub fn new(schedule: &CommSchedule, rank: u32) -> Self {
+        let mut work = vec![AbsByte::Uninit; schedule.work_len];
+        if schedule.work_initialized_from_input {
+            let seeded = schedule.input_len.min(schedule.work_len);
+            for (j, byte) in work.iter_mut().take(seeded).enumerate() {
+                *byte = AbsByte::source(rank, j);
+            }
+        }
+        RankAbs {
+            work,
+            aux: vec![AbsByte::Uninit; schedule.aux_len],
+        }
+    }
+
+    /// Read `region` as a vector of abstract bytes, failing on the first
+    /// ⊥ byte with its absolute offset.
+    pub fn read(&self, rank: u32, region: &Region, at: OpRef) -> Result<Vec<AbsByte>, SchedError> {
+        let stored = match region.buf {
+            Buf::Input => {
+                return Ok((0..region.len)
+                    .map(|k| AbsByte::source(rank, region.offset + k))
+                    .collect());
+            }
+            Buf::Work => &self.work,
+            Buf::Aux => &self.aux,
+        };
+        let mut out = Vec::with_capacity(region.len);
+        for k in 0..region.len {
+            match &stored[region.offset + k] {
+                AbsByte::Uninit => {
+                    return Err(SchedError::UninitRead {
+                        at,
+                        buf: region.buf,
+                        offset: region.offset + k,
+                    });
+                }
+                b => out.push(b.clone()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Overwrite `region` with `data` (`data.len() == region.len` by
+    /// construction at every call site).
+    pub fn write(&mut self, region: &Region, data: Vec<AbsByte>) -> Result<(), SchedError> {
+        let stored = match region.buf {
+            Buf::Input => {
+                return Err(SchedError::Internal {
+                    what: "abstract write to the read-only input",
+                })
+            }
+            Buf::Work => &mut self.work,
+            Buf::Aux => &mut self.aux,
+        };
+        for (k, v) in data.into_iter().enumerate() {
+            stored[region.offset + k] = v;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_merges_sorted_multisets() {
+        let a = AbsByte::source(1, 4);
+        let b = AbsByte::source(0, 4);
+        let ab = a.combine(&b).unwrap();
+        assert_eq!(
+            ab,
+            AbsByte::Sum(vec![
+                SourceByte { rank: 0, offset: 4 },
+                SourceByte { rank: 1, offset: 4 },
+            ])
+        );
+        // Multiset, not set: combining twice keeps duplicates.
+        let dup = ab.combine(&AbsByte::source(0, 4)).unwrap();
+        if let AbsByte::Sum(v) = &dup {
+            assert_eq!(v.len(), 3);
+        }
+        assert!(a.combine(&AbsByte::Uninit).is_none());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        assert_eq!(AbsByte::Uninit.render(), "⊥");
+        assert_eq!(
+            AbsByte::source(2, 7)
+                .combine(&AbsByte::source(0, 7))
+                .unwrap()
+                .render(),
+            "r0@7 + r2@7"
+        );
+    }
+}

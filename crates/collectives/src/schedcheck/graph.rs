@@ -1,0 +1,336 @@
+//! Message matching and the global step-dependency graph.
+//!
+//! Matching is by exact `(src, dst, tag)` triple — the interpreter's
+//! mailbox key — with two extra static obligations the executors only
+//! discover dynamically: every send needs exactly one receive of the same
+//! size, and per directed pair the k-th posted send must match the k-th
+//! posted receive (MPI non-overtaking / FIFO discipline, which the
+//! [`crate::schedule::ScheduleBuilder`] guarantees by construction).
+//!
+//! Deadlock-freedom is a graph property: split every step into a **Post**
+//! node (copies + non-blocking sends) and a **Complete** node (the
+//! wait-all on its receives). Edges are program order within a rank plus
+//! one cross-rank edge per message from the sender's Post to the
+//! receiver's Complete. A topological order exists iff no set of ranks
+//! can wait on each other forever; the order also drives the abstract
+//! interpretation, and a cycle is reported as a deadlock witness.
+
+use super::{OpRef, Phase, SchedError, StepRef};
+use crate::schedule::{CommSchedule, Op, Region};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Mailbox key: `(source rank, destination rank, tag)`.
+pub(super) type MsgKey = (u32, u32, u32);
+
+/// One side of a matched message.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Endpoint {
+    pub at: OpRef,
+    pub region: Region,
+}
+
+/// Every message of the schedule, fully matched: key → (send, recv).
+#[derive(Debug)]
+pub(super) struct Messages {
+    pub map: BTreeMap<MsgKey, (Endpoint, Endpoint)>,
+}
+
+/// Match every send to its receive and enforce the FIFO tag discipline.
+pub(super) fn match_messages(s: &CommSchedule) -> Result<Messages, SchedError> {
+    let mut sends: BTreeMap<MsgKey, Endpoint> = BTreeMap::new();
+    let mut recvs: BTreeMap<MsgKey, Endpoint> = BTreeMap::new();
+    // Tags per directed pair, in the posting rank's program order.
+    let mut send_order: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+    let mut recv_order: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+    for (rank, prog) in s.ranks.iter().enumerate() {
+        let rank = rank as u32;
+        for (si, step) in prog.iter().enumerate() {
+            for (oi, op) in step.ops.iter().enumerate() {
+                let at = OpRef {
+                    rank,
+                    step: si,
+                    op: oi,
+                };
+                match op {
+                    Op::Send { to, tag, region } => {
+                        let key = (rank, *to, *tag);
+                        if sends
+                            .insert(
+                                key,
+                                Endpoint {
+                                    at,
+                                    region: *region,
+                                },
+                            )
+                            .is_some()
+                        {
+                            return Err(SchedError::DuplicateMessage {
+                                src: rank,
+                                dst: *to,
+                                tag: *tag,
+                            });
+                        }
+                        send_order.entry((rank, *to)).or_default().push(*tag);
+                    }
+                    Op::Recv { from, tag, region } => {
+                        let key = (*from, rank, *tag);
+                        if recvs
+                            .insert(
+                                key,
+                                Endpoint {
+                                    at,
+                                    region: *region,
+                                },
+                            )
+                            .is_some()
+                        {
+                            return Err(SchedError::DuplicateMessage {
+                                src: *from,
+                                dst: rank,
+                                tag: *tag,
+                            });
+                        }
+                        recv_order.entry((*from, rank)).or_default().push(*tag);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut map = BTreeMap::new();
+    for (key, snd) in &sends {
+        let Some(rcv) = recvs.get(key) else {
+            return Err(SchedError::UnmatchedSend {
+                at: snd.at,
+                to: key.1,
+                tag: key.2,
+            });
+        };
+        if snd.region.len != rcv.region.len {
+            return Err(SchedError::MessageSizeMismatch {
+                src: key.0,
+                dst: key.1,
+                tag: key.2,
+                send_len: snd.region.len,
+                recv_len: rcv.region.len,
+            });
+        }
+        map.insert(*key, (*snd, *rcv));
+    }
+    for (key, rcv) in &recvs {
+        if !sends.contains_key(key) {
+            return Err(SchedError::UnmatchedRecv {
+                at: rcv.at,
+                from: key.0,
+                tag: key.2,
+            });
+        }
+    }
+    // FIFO: per pair the k-th send and the k-th receive (each in its own
+    // rank's program order) must carry the same tag. Key sets already
+    // agree, so the sequences have equal length.
+    for (pair, stags) in &send_order {
+        let rtags = recv_order.get(pair).map(Vec::as_slice).unwrap_or(&[]);
+        for (k, (st, rt)) in stags.iter().zip(rtags).enumerate() {
+            if st != rt {
+                return Err(SchedError::TagOrderViolation {
+                    src: pair.0,
+                    dst: pair.1,
+                    index: k,
+                    send_tag: *st,
+                    recv_tag: *rt,
+                });
+            }
+        }
+    }
+    Ok(Messages { map })
+}
+
+/// A topological order of the Post/Complete step graph, or the deadlock
+/// cycle that prevents one.
+pub(super) fn topo_order(s: &CommSchedule, msgs: &Messages) -> Result<Vec<StepRef>, SchedError> {
+    // Dense node ids: 2·(steps before rank r + step) + phase.
+    let mut base = vec![0usize; s.ranks.len() + 1];
+    let mut rank_step: Vec<(u32, usize)> = Vec::new();
+    for (r, prog) in s.ranks.iter().enumerate() {
+        base[r + 1] = base[r] + prog.len();
+        for st in 0..prog.len() {
+            rank_step.push((r as u32, st));
+        }
+    }
+    let n = 2 * rank_step.len();
+    let node = |rank: u32, step: usize, phase: Phase| -> usize {
+        2 * (base[rank as usize] + step)
+            + match phase {
+                Phase::Post => 0,
+                Phase::Complete => 1,
+            }
+    };
+    let as_ref = |id: usize| -> StepRef {
+        let (rank, step) = rank_step[id / 2];
+        StepRef {
+            rank,
+            step,
+            phase: if id.is_multiple_of(2) {
+                Phase::Post
+            } else {
+                Phase::Complete
+            },
+        }
+    };
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0u32; n];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (r, prog) in s.ranks.iter().enumerate() {
+        let r = r as u32;
+        for st in 0..prog.len() {
+            edges.push((node(r, st, Phase::Post), node(r, st, Phase::Complete)));
+            if st > 0 {
+                edges.push((node(r, st - 1, Phase::Complete), node(r, st, Phase::Post)));
+            }
+        }
+    }
+    for (snd, rcv) in msgs.map.values() {
+        edges.push((
+            node(snd.at.rank, snd.at.step, Phase::Post),
+            node(rcv.at.rank, rcv.at.step, Phase::Complete),
+        ));
+    }
+    for &(a, b) in &edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&id| indeg[id] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = queue.pop_front() {
+        order.push(as_ref(id));
+        for &succ in &adj[id] {
+            indeg[succ] -= 1;
+            if indeg[succ] == 0 {
+                queue.push_back(succ);
+            }
+        }
+    }
+    if order.len() == n {
+        return Ok(order);
+    }
+    // Cycle witness: walk predecessors inside the remaining (indeg > 0)
+    // subgraph until a node repeats.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        if indeg[a] > 0 && indeg[b] > 0 {
+            rev[b].push(a);
+        }
+    }
+    let start = (0..n).find(|&id| indeg[id] > 0).unwrap_or(0);
+    let mut pos = vec![usize::MAX; n];
+    let mut path = vec![start];
+    pos[start] = 0;
+    let cycle_ids = loop {
+        let cur = path[path.len() - 1];
+        let Some(&pred) = rev[cur].first() else {
+            // Every remaining node has a remaining predecessor; defensive
+            // fallback so a broken invariant still reports *something*.
+            break path.clone();
+        };
+        if pos[pred] != usize::MAX {
+            let mut cyc = path[pos[pred]..].to_vec();
+            cyc.reverse();
+            break cyc;
+        }
+        pos[pred] = path.len();
+        path.push(pred);
+    };
+    Err(SchedError::Deadlock {
+        cycle: cycle_ids.into_iter().map(as_ref).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Buf, CommSchedule, Op, Region, Step};
+
+    /// Two ranks, each receiving before it sends: the classic wait cycle.
+    fn cyclic_schedule() -> CommSchedule {
+        let b = 4usize;
+        let mk = |peer: u32| {
+            vec![
+                Step {
+                    ops: vec![Op::Recv {
+                        from: peer,
+                        tag: 0,
+                        region: Region::new(Buf::Work, 0, b),
+                    }],
+                },
+                Step {
+                    ops: vec![Op::Send {
+                        to: peer,
+                        tag: 0,
+                        region: Region::new(Buf::Input, 0, b),
+                    }],
+                },
+            ]
+        };
+        CommSchedule {
+            world: 2,
+            block: b,
+            input_len: b,
+            work_len: b,
+            aux_len: 0,
+            work_initialized_from_input: false,
+            ranks: vec![mk(1), mk(0)],
+        }
+    }
+
+    #[test]
+    fn wait_cycle_is_reported_with_witness() {
+        let s = cyclic_schedule();
+        let msgs = match_messages(&s).unwrap();
+        let err = topo_order(&s, &msgs).unwrap_err();
+        match err {
+            SchedError::Deadlock { cycle } => {
+                assert!(cycle.len() >= 4, "cycle {cycle:?}");
+                assert!(cycle.iter().any(|n| n.rank == 0));
+                assert!(cycle.iter().any(|n| n.rank == 1));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swapped_tags_violate_fifo() {
+        let b = 4usize;
+        let send = |tag: u32| Op::Send {
+            to: 1,
+            tag,
+            region: Region::new(Buf::Input, 0, b),
+        };
+        let recv = |tag: u32, off: usize| Op::Recv {
+            from: 0,
+            tag,
+            region: Region::new(Buf::Work, off, b),
+        };
+        let s = CommSchedule {
+            world: 2,
+            block: b,
+            input_len: b,
+            work_len: 2 * b,
+            aux_len: 0,
+            work_initialized_from_input: false,
+            ranks: vec![
+                vec![Step {
+                    ops: vec![send(1), send(0)],
+                }],
+                vec![Step {
+                    ops: vec![recv(0, 0), recv(1, b)],
+                }],
+            ],
+        };
+        let err = match_messages(&s).unwrap_err();
+        assert!(
+            matches!(err, SchedError::TagOrderViolation { index: 0, .. }),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Declarative per-collective postconditions.
+//!
+//! Each collective is specified as the exact provenance multiset every
+//! byte of every rank's final Work buffer must hold. Equality is exact in
+//! both directions: a byte with the wrong source, a missing or duplicated
+//! reduction contribution, or a leftover ⊥ all fail. For allreduce this
+//! is the "every rank reduced, exactly once" proof: byte `j` must be the
+//! multiset `{(q, j) : q ∈ 0..p}` with each element appearing once.
+
+use super::domain::{AbsByte, RankAbs, SourceByte};
+use super::SchedError;
+use crate::algo::Collective;
+use crate::schedule::CommSchedule;
+
+/// What a schedule claims to implement, with its size parameter (`block`
+/// bytes per rank for allgather/alltoall, total message bytes for
+/// bcast/allreduce — the same convention as `Algorithm::schedule`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spec {
+    Allgather { block: usize },
+    Alltoall { block: usize },
+    Bcast { msg: usize },
+    Allreduce { msg: usize },
+}
+
+impl Spec {
+    pub fn for_collective(c: Collective, size: usize) -> Spec {
+        match c {
+            Collective::Allgather => Spec::Allgather { block: size },
+            Collective::Alltoall => Spec::Alltoall { block: size },
+            Collective::Bcast => Spec::Bcast { msg: size },
+            Collective::Allreduce => Spec::Allreduce { msg: size },
+        }
+    }
+
+    pub fn collective(&self) -> Collective {
+        match self {
+            Spec::Allgather { .. } => Collective::Allgather,
+            Spec::Alltoall { .. } => Collective::Alltoall,
+            Spec::Bcast { .. } => Collective::Bcast,
+            Spec::Allreduce { .. } => Collective::Allreduce,
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        match self {
+            Spec::Allgather { block } | Spec::Alltoall { block } => *block,
+            Spec::Bcast { msg } | Spec::Allreduce { msg } => *msg,
+        }
+    }
+
+    /// Required `(input_len, work_len)` for a world of `p` ranks.
+    fn required(&self, p: u32) -> (usize, usize) {
+        let pu = p as usize;
+        match self {
+            Spec::Allgather { block } => (*block, pu * block),
+            Spec::Alltoall { block } => (pu * block, pu * block),
+            Spec::Bcast { msg } | Spec::Allreduce { msg } => (*msg, *msg),
+        }
+    }
+
+    /// The schedule's buffer geometry must match the spec before any
+    /// provenance statement makes sense.
+    pub(super) fn check_shape(&self, s: &CommSchedule) -> Result<(), SchedError> {
+        let (input_len, work_len) = self.required(s.world);
+        if s.input_len != input_len {
+            return Err(SchedError::SpecShapeMismatch {
+                field: "input_len",
+                expected: input_len,
+                got: s.input_len,
+            });
+        }
+        if s.work_len != work_len {
+            return Err(SchedError::SpecShapeMismatch {
+                field: "work_len",
+                expected: work_len,
+                got: s.work_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Expected provenance of rank `rank`'s Work byte `j`.
+    fn expected_byte(&self, p: u32, rank: u32, j: usize) -> AbsByte {
+        match self {
+            // Block q of everyone's output is rank q's contribution.
+            Spec::Allgather { block } => AbsByte::source((j / block) as u32, j % block),
+            // Block s of rank r's output is the block s addressed to r.
+            Spec::Alltoall { block } => {
+                let src = (j / block) as u32;
+                AbsByte::Sum(vec![SourceByte {
+                    rank: src,
+                    offset: rank as usize * block + j % block,
+                }])
+            }
+            // Everyone ends with the root's payload; other ranks' inputs
+            // are garbage and must never leak in.
+            Spec::Bcast { .. } => AbsByte::source(0, j),
+            // Every rank's byte j, reduced exactly once each.
+            Spec::Allreduce { .. } => {
+                AbsByte::Sum((0..p).map(|q| SourceByte { rank: q, offset: j }).collect())
+            }
+        }
+    }
+
+    /// Compare the final abstract Work state of every rank against the
+    /// spec, byte for byte.
+    pub(super) fn check_post(
+        &self,
+        s: &CommSchedule,
+        finals: &[RankAbs],
+    ) -> Result<(), SchedError> {
+        for (r, state) in finals.iter().enumerate() {
+            for (j, got) in state.work.iter().enumerate() {
+                let want = self.expected_byte(s.world, r as u32, j);
+                if *got != want {
+                    return Err(SchedError::PostconditionMismatch {
+                        rank: r as u32,
+                        offset: j,
+                        expected: want.render(),
+                        got: got.render(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -71,11 +71,19 @@ impl Region {
         Region::new(Buf::Aux, offset, len)
     }
 
+    /// Exclusive end of the region. Saturates on `offset + len` overflow —
+    /// such a region can never fit a real buffer, and [`CommSchedule::validate`]
+    /// rejects it explicitly rather than letting the sum wrap.
     pub fn end(&self) -> usize {
-        self.offset + self.len
+        self.offset.saturating_add(self.len)
     }
 
-    fn overlaps(&self, other: &Region) -> bool {
+    /// Whether `offset + len` overflows `usize` — always invalid.
+    pub fn overflows(&self) -> bool {
+        self.offset.checked_add(self.len).is_none()
+    }
+
+    pub fn overlaps(&self, other: &Region) -> bool {
         self.buf == other.buf && self.offset < other.end() && other.offset < self.end()
     }
 }
@@ -208,6 +216,12 @@ impl CommSchedule {
             Buf::Aux => self.aux_len,
         };
         let check_region = |r: &Region, what: &str| -> Result<(), ScheduleError> {
+            if r.overflows() {
+                return Err(ScheduleError(format!(
+                    "{what}: region {:?}+{} len {} overflows usize",
+                    r.buf, r.offset, r.len
+                )));
+            }
             if r.end() > buf_len(r.buf) {
                 return Err(ScheduleError(format!(
                     "{what}: region {:?}+{}..{} exceeds buffer length {}",
@@ -473,6 +487,21 @@ mod tests {
         sb.step(0, |s| s.send(1, Region::input(0, b)));
         sb.step(1, |s| s.recv(0, Region::work(b, b))); // past end of work
         assert!(sb.finish().validate().is_err());
+    }
+
+    #[test]
+    fn overflowing_region_fails_instead_of_wrapping() {
+        // offset + len wraps usize; a naive `offset + len > buf_len` bound
+        // check would accept this region (the wrapped end is tiny).
+        let b = 4;
+        let mut sch = two_rank_exchange();
+        sch.ranks[0][0].ops[0] = Op::Copy {
+            src: Region::input(0, b),
+            dst: Region::new(Buf::Work, usize::MAX - 1, b),
+        };
+        let err = sch.validate().unwrap_err();
+        assert!(err.0.contains("overflows"), "{err}");
+        assert_eq!(Region::new(Buf::Work, usize::MAX - 1, b).end(), usize::MAX);
     }
 
     #[test]

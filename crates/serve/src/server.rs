@@ -204,8 +204,8 @@ impl Server {
     /// (requests, errors) handled so far.
     pub fn counts(&self) -> (u64, u64) {
         (
-            self.shared.requests.load(Ordering::Relaxed),
-            self.shared.errors.load(Ordering::Relaxed),
+            self.shared.requests.load(Ordering::SeqCst),
+            self.shared.errors.load(Ordering::SeqCst),
         )
     }
 
@@ -215,10 +215,10 @@ impl Server {
     pub fn run(self, term: &AtomicBool) -> Result<(), ServeError> {
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
-            if term.load(Ordering::Relaxed) {
-                self.shared.shutdown.store(true, Ordering::Relaxed);
+            if term.load(Ordering::SeqCst) {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
             }
-            if self.shared.shutdown.load(Ordering::Relaxed) {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             match self.listener.accept() {
@@ -266,7 +266,7 @@ fn serve_connection(shared: &Shared, stream: UnixStream) {
     // pieces accumulates until its newline (or EOF) shows up.
     let mut line = String::new();
     loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match reader.read_line(&mut line) {
@@ -310,12 +310,12 @@ fn send(writer: &mut UnixStream, reply: &str) -> std::io::Result<()> {
 /// Answer one frame. Returns the reply line and whether this frame asked
 /// the daemon (or just this connection) to stop.
 fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
-    shared.requests.fetch_add(1, Ordering::Relaxed);
+    shared.requests.fetch_add(1, Ordering::SeqCst);
     REQUESTS.inc();
     let req = match protocol::parse_request(line) {
         Ok(req) => req,
         Err((id, err)) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.errors.fetch_add(1, Ordering::SeqCst);
             ERRORS.inc();
             return (protocol::render_error(id, &err), false);
         }
@@ -340,7 +340,7 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
             match outcome {
                 Ok(algo) => (protocol::render_predict(id, algo), false),
                 Err(err) => {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.errors.fetch_add(1, Ordering::SeqCst);
                     ERRORS.inc();
                     (protocol::render_error(id, &err), false)
                 }
@@ -348,7 +348,7 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
         }
         Op::Stats => (protocol::render_ok(id, stats_fields(shared)), false),
         Op::Shutdown => {
-            shared.shutdown.store(true, Ordering::Relaxed);
+            shared.shutdown.store(true, Ordering::SeqCst);
             (
                 protocol::render_ok(id, vec![("stopping".to_string(), Value::Bool(true))]),
                 true,
@@ -369,11 +369,11 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
     vec![
         (
             "requests".to_string(),
-            Value::UInt(shared.requests.load(Ordering::Relaxed)),
+            Value::UInt(shared.requests.load(Ordering::SeqCst)),
         ),
         (
             "errors".to_string(),
-            Value::UInt(shared.errors.load(Ordering::Relaxed)),
+            Value::UInt(shared.errors.load(Ordering::SeqCst)),
         ),
         ("cache_hits".to_string(), Value::UInt(hits)),
         ("cache_misses".to_string(), Value::UInt(misses)),
@@ -457,8 +457,8 @@ mod tests {
             assert_eq!(obj_get(&v, "ok").and_then(Value::as_bool), Some(false));
             assert!(obj_get(&v, "error").is_some());
         }
-        assert_eq!(shared.errors.load(Ordering::Relaxed), 2);
-        assert_eq!(shared.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.errors.load(Ordering::SeqCst), 2);
+        assert_eq!(shared.requests.load(Ordering::SeqCst), 2);
     }
 
     #[test]
@@ -482,7 +482,7 @@ mod tests {
         let shared = test_shared();
         let (reply, stop) = handle_line(&shared, r#"{"v":"pml-serve/v1","op":"shutdown"}"#);
         assert!(stop);
-        assert!(shared.shutdown.load(Ordering::Relaxed));
+        assert!(shared.shutdown.load(Ordering::SeqCst));
         let v: Value = serde_json::from_str(&reply).unwrap();
         assert_eq!(obj_get(&v, "ok").and_then(Value::as_bool), Some(true));
     }
@@ -566,7 +566,7 @@ mod tests {
         let term = Arc::new(AtomicBool::new(false));
         let t = Arc::clone(&term);
         let daemon = std::thread::spawn(move || server.run(&t));
-        term.store(true, Ordering::Relaxed);
+        term.store(true, Ordering::SeqCst);
         daemon.join().unwrap().unwrap();
         assert!(!socket.exists());
         std::fs::remove_dir_all(&dir).ok();

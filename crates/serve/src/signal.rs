@@ -17,7 +17,7 @@ const SIGTERM: i32 = 15;
 
 extern "C" fn flag_termination(_signum: i32) {
     // Only async-signal-safe operation in this crate: one atomic store.
-    TERMINATE.store(true, Ordering::Relaxed);
+    TERMINATE.store(true, Ordering::SeqCst);
 }
 
 extern "C" {

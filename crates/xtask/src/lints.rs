@@ -41,6 +41,18 @@ pub enum LintKind {
     /// `Result`) silences the error path. Handle it or document why with
     /// `.ok()`; plain variable discards (`let _ = x;`) are fine.
     SwallowedResult,
+    /// `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()` on a
+    /// poisonable guard in non-test code: one panicking holder turns every
+    /// later acquisition into a cascade panic. Use the poison-handling
+    /// idiom `unwrap_or_else(PoisonError::into_inner)` — the data is a
+    /// plain value and stays usable.
+    LockUnwrap,
+    /// `Ordering::Relaxed` outside the designated metric/counter modules:
+    /// Relaxed is correct for monotone counters read after a join, and
+    /// silently wrong for flags, handshakes, or anything another load is
+    /// ordered against. Everything else uses `SeqCst` until a measured
+    /// need says otherwise.
+    RelaxedAtomic,
 }
 
 impl LintKind {
@@ -53,6 +65,8 @@ impl LintKind {
             LintKind::UncheckedIndexing => "unchecked-indexing",
             LintKind::FloatReductionOrder => "float-reduction-order",
             LintKind::SwallowedResult => "swallowed-result",
+            LintKind::LockUnwrap => "lock-across-await-free-unwrap",
+            LintKind::RelaxedAtomic => "relaxed-atomic-outside-counter",
         }
     }
 
@@ -65,6 +79,8 @@ impl LintKind {
             "unchecked-indexing" => Some(LintKind::UncheckedIndexing),
             "float-reduction-order" => Some(LintKind::FloatReductionOrder),
             "swallowed-result" => Some(LintKind::SwallowedResult),
+            "lock-across-await-free-unwrap" => Some(LintKind::LockUnwrap),
+            "relaxed-atomic-outside-counter" => Some(LintKind::RelaxedAtomic),
             _ => None,
         }
     }
@@ -122,6 +138,9 @@ pub struct LintConfig {
     pub dispatch_scope: Vec<String>,
     /// Path prefixes where narrowing casts must carry a range guard.
     pub cast_scope: Vec<String>,
+    /// Path prefixes (the metric/counter modules) where `Ordering::Relaxed`
+    /// is legitimate; everywhere else it is a violation.
+    pub relaxed_counter_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -146,6 +165,13 @@ impl LintConfig {
                 "crates/collectives/src/exec/".into(),
             ],
             cast_scope: vec!["crates/mlcore/src/".into(), "crates/core/src/".into()],
+            relaxed_counter_scope: vec![
+                // The metrics registry (counters, gauges, histograms) and
+                // the span-id/tick counters around it.
+                "crates/obs/src/".into(),
+                // Tuner memo hit/miss counters, read after threads join.
+                "crates/core/src/tuner.rs".into(),
+            ],
         }
     }
 }
@@ -158,6 +184,10 @@ pub fn lint_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
     forbidden_panic(rel, &masked, &tokens, &mut out);
     unchecked_indexing(rel, &masked, &tokens, &mut out);
     swallowed_result(rel, &masked, &tokens, &mut out);
+    lock_unwrap(rel, &masked, &tokens, &mut out);
+    if !cfg.relaxed_counter_scope.iter().any(|p| rel.starts_with(p)) {
+        relaxed_atomic(rel, &masked, &tokens, &mut out);
+    }
     let determinism_exempt = cfg.determinism_exempt.iter().any(|p| rel == p);
     if !determinism_exempt && cfg.determinism_scope.iter().any(|p| rel.starts_with(p)) {
         nondeterminism(rel, &masked, &tokens, &mut out);
@@ -401,6 +431,69 @@ fn float_reduction_order(rel: &str, masked: &str, tokens: &[Token], out: &mut Ve
                 _ => {}
             }
             j += 1;
+        }
+    }
+}
+
+/// No-argument acquisition methods of the poisonable sync primitives.
+/// `.read()`/`.write()` with arguments (io traits) never match: the
+/// pattern requires an empty `()` directly followed by the panic method.
+const POISONABLE_ACQUIRES: [&str; 3] = ["lock", "read", "write"];
+
+fn lock_unwrap(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !POISONABLE_ACQUIRES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if k == 0 || !tokens[k - 1].is_punct('.') {
+            continue;
+        }
+        let empty_call = tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(k + 2).is_some_and(|n| n.is_punct(')'));
+        if !empty_call || !tokens.get(k + 3).is_some_and(|n| n.is_punct('.')) {
+            continue;
+        }
+        let Some(m) = tokens.get(k + 4) else { continue };
+        if m.kind == TokenKind::Ident
+            && (m.text == "unwrap" || m.text == "expect")
+            && tokens.get(k + 5).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                out,
+                LintKind::LockUnwrap,
+                rel,
+                masked,
+                t.start,
+                format!(
+                    ".{}().{}() cascades poison into a second panic \
+                     (use unwrap_or_else(PoisonError::into_inner))",
+                    t.text, m.text
+                ),
+            );
+        }
+    }
+}
+
+fn relaxed_atomic(rel: &str, masked: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if !t.is_ident("Relaxed") {
+            continue;
+        }
+        let qualified = k >= 3
+            && tokens[k - 1].is_punct(':')
+            && tokens[k - 2].is_punct(':')
+            && tokens[k - 3].is_ident("Ordering");
+        if qualified {
+            push(
+                out,
+                LintKind::RelaxedAtomic,
+                rel,
+                masked,
+                t.start,
+                "Ordering::Relaxed outside a metric/counter module (use SeqCst, \
+                 or move the counter into the metrics registry)"
+                    .into(),
+            );
         }
     }
 }

@@ -5,6 +5,7 @@
 //! cargo xtask lint --list               # print every current violation
 //! cargo xtask lint --update-allowlist   # rewrite the allowlist after a burn-down
 //! cargo xtask verify-artifacts          # pml-mpi verify over committed + fresh artifacts
+//! cargo xtask verify-schedules          # statically prove every registered schedule
 //! cargo xtask tsan [filter]             # ThreadSanitizer lane (nightly) on the threaded executor
 //! cargo xtask miri [filter]             # Miri lane (nightly) on mlcore + collectives unit tests
 //! ```
@@ -26,10 +27,11 @@ fn main() -> ExitCode {
     let result = match cmd {
         "lint" => cmd_lint(rest),
         "verify-artifacts" => cmd_verify_artifacts(rest),
+        "verify-schedules" => cmd_verify_schedules(rest),
         "tsan" => cmd_tsan(rest),
         "miri" => cmd_miri(rest),
         "help" | "--help" | "-h" => {
-            eprintln!("usage: cargo xtask [lint [--list|--update-allowlist] | verify-artifacts | tsan [filter] | miri [filter]]");
+            eprintln!("usage: cargo xtask [lint [--list|--update-allowlist] | verify-artifacts | verify-schedules | tsan [filter] | miri [filter]]");
             Ok(())
         }
         other => Err(format!(
@@ -188,6 +190,62 @@ fn cmd_verify_artifacts(args: &[String]) -> Result<(), String> {
     verify_args.extend(targets.iter().map(String::as_str));
     pml(&verify_args)?;
     println!("verify-artifacts: {} artifact(s) verified", targets.len());
+    Ok(())
+}
+
+/// Static schedule-verification lane: prove every registered algorithm
+/// correct over the full (world, size) grid — world 2..=16 including
+/// non-powers-of-two, two block sizes — via `pml-mpi verify --schedules`,
+/// with zero schedule execution. Then exercise both document paths: the
+/// committed good fixture must verify and the committed corrupted fixture
+/// must be rejected with a nonzero exit.
+fn cmd_verify_schedules(args: &[String]) -> Result<(), String> {
+    if let Some(bad) = args.first() {
+        return Err(format!("unknown verify-schedules flag `{bad}`"));
+    }
+    let root = find_root()?;
+    let pml_cmd = |cmd_args: &[&str]| -> Command {
+        let mut c = Command::new("cargo");
+        c.current_dir(&root)
+            .args(["run", "--release", "-q", "-p", "pml-mpi", "--"])
+            .args(cmd_args);
+        c
+    };
+
+    run(
+        pml_cmd(&[
+            "verify",
+            "--schedules",
+            "--max-world",
+            "16",
+            "--blocks",
+            "16,21",
+        ]),
+        "schedule grid sweep",
+    )?;
+
+    let good = root
+        .join("tests/fixtures/schedules/allgather_p2_good.json")
+        .display()
+        .to_string();
+    run(
+        pml_cmd(&["verify", "--schedules", &good]),
+        "good schedule fixture",
+    )?;
+
+    let corrupt = root
+        .join("tests/fixtures/schedules/corrupt_drop_recv.json")
+        .display()
+        .to_string();
+    let status = pml_cmd(&["verify", "--schedules", &corrupt])
+        .status()
+        .map_err(|e| format!("spawning corrupted-fixture check: {e}"))?;
+    if status.success() {
+        return Err(format!(
+            "corrupted schedule fixture {corrupt} unexpectedly verified — the analyzer lost a check"
+        ));
+    }
+    println!("verify-schedules: grid proven, good fixture OK, corrupted fixture rejected");
     Ok(())
 }
 

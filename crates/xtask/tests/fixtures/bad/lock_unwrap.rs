@@ -1,0 +1,31 @@
+//! Fixture: poisonable-guard acquisition followed by a bare panic.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub fn bump(m: &Mutex<u64>) {
+    *m.lock().unwrap() += 1;
+}
+
+pub fn peek(l: &RwLock<u64>) -> u64 {
+    *l.read().expect("poisoned")
+}
+
+/// The sanctioned idiom: poison degrades to the inner guard.
+pub fn bump_guarded(m: &Mutex<u64>) {
+    *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+}
+
+/// `.read()` with arguments (io::Read) is a different method entirely.
+pub fn fill(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    r.read(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = std::sync::Mutex::new(0u64);
+        *m.lock().unwrap() += 1;
+    }
+}

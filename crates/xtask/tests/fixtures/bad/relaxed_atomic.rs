@@ -1,0 +1,34 @@
+//! Fixture: Relaxed memory ordering outside the counter scope.
+//! Never compiled — consumed as text by `lint_fixtures.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read_flag(c: &AtomicU64) -> u64 {
+    // Prose mention of Ordering::Relaxed in a comment is not counted.
+    c.load(Ordering::SeqCst)
+}
+
+/// A bare `Relaxed` variant under another path is not the atomics API.
+pub enum Pacing {
+    Strict,
+    Relaxed,
+}
+
+pub fn is_relaxed(p: &Pacing) -> bool {
+    matches!(p, Pacing::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_relaxed() {
+        let c = AtomicU64::new(0);
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -32,6 +32,7 @@ fn fixture_config() -> LintConfig {
         dispatch_all_matches: vec![],
         dispatch_scope: vec!["bad/wildcard_dispatch.rs".into(), "clean/".into()],
         cast_scope: vec!["bad/cast_truncation.rs".into(), "clean/".into()],
+        relaxed_counter_scope: vec!["counters/".into()],
     }
 }
 
@@ -190,6 +191,59 @@ fn flags_swallowed_call_result_but_not_bare_discard() {
     // `let _ = flag;` and `.ok()` both pass; only the discarded call fails.
     assert_eq!(kinds(&vs), vec![LintKind::SwallowedResult], "{vs:?}");
     assert_eq!(vs[0].line, 4);
+}
+
+#[test]
+fn flags_lock_unwrap_but_not_the_poison_idiom() {
+    let rel = "bad/lock_unwrap.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    // forbidden-panic also fires on the same `.unwrap()`/`.expect()`
+    // sites; the lock lint adds the guard-specific diagnostic on top.
+    assert_eq!(
+        kinds(&vs),
+        vec![
+            LintKind::ForbiddenPanic,
+            LintKind::ForbiddenPanic,
+            LintKind::LockUnwrap,
+            LintKind::LockUnwrap,
+        ],
+        "{vs:?}"
+    );
+    let locks: Vec<&Violation> = vs
+        .iter()
+        .filter(|v| v.lint == LintKind::LockUnwrap)
+        .collect();
+    // `.lock().unwrap()` and `.read().expect()`; the poison idiom and the
+    // io::Read call with an argument both pass.
+    assert_eq!(locks[0].line, 7);
+    assert!(
+        locks[0].what.contains("PoisonError::into_inner"),
+        "{}",
+        locks[0].what
+    );
+    assert_eq!(locks[1].line, 11);
+    assert!(
+        locks[1].what.contains(".read().expect()"),
+        "{}",
+        locks[1].what
+    );
+    // Unscoped lint: the same file anywhere in the workspace still fails.
+    let vs = lint_file("elsewhere/locks.rs", &fixture(rel), &fixture_config());
+    assert!(vs.iter().any(|v| v.lint == LintKind::LockUnwrap), "{vs:?}");
+}
+
+#[test]
+fn flags_relaxed_ordering_outside_counter_scope_only() {
+    let rel = "bad/relaxed_atomic.rs";
+    let vs = lint_file(rel, &fixture(rel), &fixture_config());
+    // Only the fully-qualified `Ordering::Relaxed`; the SeqCst load, the
+    // `Pacing::Relaxed` variant, and the test module all pass.
+    assert_eq!(kinds(&vs), vec![LintKind::RelaxedAtomic], "{vs:?}");
+    assert_eq!(vs[0].line, 7);
+    assert!(vs[0].what.contains("SeqCst"), "{}", vs[0].what);
+    // Inside the designated counter scope the ordering is sanctioned.
+    let vs = lint_file("counters/metrics.rs", &fixture(rel), &fixture_config());
+    assert!(vs.is_empty(), "{vs:?}");
 }
 
 #[test]

@@ -32,6 +32,9 @@ cargo build --release
 echo "==> cargo xtask verify-artifacts"
 cargo xtask verify-artifacts
 
+echo "==> cargo xtask verify-schedules"
+cargo xtask verify-schedules
+
 echo "==> cargo test -q"
 cargo test -q
 

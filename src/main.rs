@@ -192,6 +192,9 @@ SUBCOMMANDS:
   table <cluster> <collective>     emit a cluster's JSON tuning table
   compare <cluster> <collective>   ML vs library defaults vs oracle
   verify <FILE>...                 statically verify artifact files
+  verify --schedules [FILE]...     statically verify communication schedules
+                                   (no files: prove every registered algorithm
+                                   over the (world, size) grid — zero execution)
   stats [<collective>]             run a small pipeline, dump spans/metrics/events
   serve --socket PATH --model DIR  selection daemon over a Unix domain socket
   loadgen --socket PATH            replay synthetic requests, record latency
@@ -206,6 +209,10 @@ COMMON OPTIONS:
   --cache-dir DIR   dataset cache directory (default: ./data when present)
   --no-cache        regenerate datasets in memory, ignore any cache
   --out FILE        write the command's JSON artifact to FILE
+
+VERIFY --schedules OPTIONS:
+  --max-world N     largest world size in the sweep (default 16)
+  --blocks CSV      comma-separated block/message sizes in bytes (default 16,21)
 
 STATS OPTIONS:
   --cluster NAME    zoo cluster to pipeline (default: RI)
@@ -251,6 +258,7 @@ EXAMPLES:
   pml-mpi table RI alltoall --trace --metrics-out metrics.json
   pml-mpi compare Frontera alltoall --nodes 16 --ppn 56
   pml-mpi verify model_ag.json frontera_allgather.json
+  pml-mpi verify --schedules --max-world 16 --blocks 16,21
   pml-mpi stats alltoall --cluster RI
   pml-mpi serve --socket /tmp/pml.sock --model artifacts/
   printf '{{\"v\":\"pml-serve/v1\",\"id\":1,\"op\":\"select\",\"collective\":\"alltoall\",\
@@ -625,13 +633,20 @@ fn engine_cfg_datagen() -> pml_mpi::DatagenConfig {
 }
 
 /// Statically verify artifact files (models, tuning tables, binned
-/// matrices) without executing them. Prints one line per file; any failure
-/// is reported with its path and the command exits nonzero after checking
-/// every file.
+/// matrices) without executing them, or — with `--schedules` — statically
+/// verify communication schedules via the schedcheck dataflow analyzer.
+/// Prints one line per file; any failure is reported with its path and the
+/// command exits nonzero after checking every file.
 fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let opts = Opts::parse(args, &[], &[])?;
+    let opts = Opts::parse(args, &["max-world", "blocks"], &["schedules"])?;
+    if opts.has("schedules") {
+        return cmd_verify_schedules(&opts);
+    }
+    if opts.has("max-world") || opts.has("blocks") {
+        return Err("--max-world/--blocks only apply with --schedules".into());
+    }
     if opts.positional.is_empty() {
-        return Err("usage: pml-mpi verify <FILE>...".into());
+        return Err("usage: pml-mpi verify <FILE>... | verify --schedules [FILE]...".into());
     }
     let mut failures = 0usize;
     for path in &opts.positional {
@@ -649,6 +664,82 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn Error>> {
             opts.positional.len()
         )
         .into());
+    }
+    Ok(())
+}
+
+/// `verify --schedules`: with no files, statically prove every registered
+/// algorithm over the full (world, size) grid — zero execution; with
+/// files, check each as a `pml-sched/v1` schedule document. The grid is
+/// world 2..=`--max-world` (default 16, non-powers-of-two included) at
+/// each size in `--blocks` (default 16,21).
+fn cmd_verify_schedules(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    use pml_mpi::collectives::schedcheck;
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    if opts.positional.is_empty() {
+        let max_world = match opts.get("max-world") {
+            Some(_) => opts.require_u32("max-world")?,
+            None => 16,
+        };
+        if max_world < 2 {
+            return Err("--max-world must be at least 2".into());
+        }
+        let sizes = match opts.get("blocks") {
+            Some(csv) => csv
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("--blocks expects integers, got {s:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![16, 21],
+        };
+        if sizes.is_empty() {
+            return Err("--blocks needs at least one size".into());
+        }
+        let mut by_algo: BTreeMap<String, usize> = BTreeMap::new();
+        for (algo, p, size) in schedcheck::sweep_grid(max_world, &sizes) {
+            checked += 1;
+            match schedcheck::check_algorithm(algo, p, size) {
+                Ok(()) => *by_algo.entry(algo.name().to_string()).or_insert(0) += 1,
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {} p={p} size={size}: {e}", algo.name());
+                }
+            }
+        }
+        for (name, n) in &by_algo {
+            println!("{name}: {n} cells OK");
+        }
+        println!(
+            "verified {checked} (algorithm, world, size) cells statically, {failures} failure(s)"
+        );
+    } else {
+        for path in &opts.positional {
+            checked += 1;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let verdict = serde_json::from_str::<schedcheck::ScheduleDoc>(&text)
+                .map_err(|e| format!("parse: {e}"))
+                .and_then(|doc| doc.check().map(|()| doc).map_err(|e| e.to_string()));
+            match verdict {
+                Ok(doc) => println!(
+                    "{path}: OK ({} p={} size={})",
+                    doc.collective.name(),
+                    doc.schedule.world,
+                    doc.size
+                ),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {path}: {e}");
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {checked} schedule check(s) failed").into());
     }
     Ok(())
 }

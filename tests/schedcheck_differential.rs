@@ -1,0 +1,143 @@
+//! Differential property test: the static analyzer (schedcheck) and the
+//! executing oracle (collectives::verify over the byte interpreter) must
+//! agree. For every registered algorithm across a (world, size) grid both
+//! verdicts are pass; for mutated schedules the static analyzer is never
+//! more permissive than the oracle — whenever schedcheck accepts a
+//! schedule, running it byte-for-byte must also succeed.
+
+use pml_mpi::collectives::schedcheck::{check_algorithm, check_schedule, sweep_grid, Spec};
+use pml_mpi::collectives::verify::{
+    check_allgather, check_allreduce, check_alltoall, check_bcast, VerifyError,
+};
+use pml_mpi::collectives::{Collective, CommSchedule, Op};
+
+fn oracle(sch: &CommSchedule, c: Collective, size: usize) -> Result<(), VerifyError> {
+    match c {
+        Collective::Allgather => check_allgather(sch, size),
+        Collective::Alltoall => check_alltoall(sch, size),
+        Collective::Bcast => check_bcast(sch, size),
+        Collective::Allreduce => check_allreduce(sch, size),
+    }
+}
+
+#[test]
+fn every_registered_algorithm_passes_both_verifiers() {
+    let grid = sweep_grid(12, &[16, 21]);
+    assert!(grid.len() > 100, "grid unexpectedly small: {}", grid.len());
+    for (algo, p, size) in grid {
+        let st = check_algorithm(algo, p, size);
+        assert!(st.is_ok(), "static {algo:?} p={p} size={size}: {st:?}");
+        let sch = algo.schedule(p, size);
+        let dy = oracle(&sch, algo.collective(), size);
+        assert!(dy.is_ok(), "oracle {algo:?} p={p} size={size}: {dy:?}");
+    }
+}
+
+/// Generic schedule mutations applicable to any algorithm's output. Each
+/// returns false if the schedule has no site for the mutation.
+fn drop_last_recv(sch: &mut CommSchedule) -> bool {
+    for prog in sch.ranks.iter_mut().rev() {
+        for step in prog.iter_mut().rev() {
+            if let Some(i) = step
+                .ops
+                .iter()
+                .rposition(|op| matches!(op, Op::Recv { .. }))
+            {
+                step.ops.remove(i);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn shrink_first_recv(sch: &mut CommSchedule) -> bool {
+    for prog in sch.ranks.iter_mut() {
+        for step in prog.iter_mut() {
+            for op in &mut step.ops {
+                if let Op::Recv { region, .. } = op {
+                    if region.len > 1 {
+                        region.len -= 1;
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+fn retarget_first_combine(sch: &mut CommSchedule) -> bool {
+    let work_len = sch.work_len;
+    for prog in sch.ranks.iter_mut() {
+        for step in prog.iter_mut() {
+            for op in &mut step.ops {
+                if let Op::Combine { dst, .. } = op {
+                    if dst.len > 0 && dst.len < work_len {
+                        dst.offset = (dst.offset + dst.len) % work_len;
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+fn zero_first_send_tag(sch: &mut CommSchedule) -> bool {
+    for prog in sch.ranks.iter_mut() {
+        for step in prog.iter_mut() {
+            for op in &mut step.ops {
+                if let Op::Send { tag, .. } = op {
+                    if *tag != 0 {
+                        *tag = 0;
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn static_pass_implies_oracle_pass_on_mutants() {
+    type Mutation = (&'static str, fn(&mut CommSchedule) -> bool);
+    let mutations: [Mutation; 4] = [
+        ("drop_last_recv", drop_last_recv),
+        ("shrink_first_recv", shrink_first_recv),
+        ("retarget_first_combine", retarget_first_combine),
+        ("zero_first_send_tag", zero_first_send_tag),
+    ];
+    let mut applied = 0usize;
+    let mut caught_static = 0usize;
+    for (algo, p, size) in sweep_grid(8, &[16]) {
+        let spec = Spec::for_collective(algo.collective(), size);
+        for (name, mutate) in &mutations {
+            let mut sch = algo.schedule(p, size);
+            if !mutate(&mut sch) {
+                continue;
+            }
+            applied += 1;
+            let st = check_schedule(&sch, &spec);
+            if st.is_err() {
+                caught_static += 1;
+                continue;
+            }
+            // Soundness direction: schedcheck accepted the mutant, so the
+            // execution must be indistinguishable from correct.
+            let dy = oracle(&sch, algo.collective(), size);
+            assert!(
+                dy.is_ok(),
+                "{name} on {algo:?} p={p} size={size}: static passed but oracle failed: {dy:?}"
+            );
+        }
+    }
+    assert!(applied > 50, "too few mutants applied: {applied}");
+    // Dropping a receive always strands its send; at minimum those must
+    // all be caught statically, so the static catch rate can't be tiny.
+    assert!(
+        caught_static * 4 >= applied,
+        "static analyzer caught only {caught_static}/{applied} mutants"
+    );
+}

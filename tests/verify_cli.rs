@@ -159,6 +159,64 @@ fn mixed_healthy_and_broken_exits_nonzero_but_reports_both() {
 }
 
 #[test]
+fn schedule_sweep_proves_the_grid_without_executing() {
+    let out = pml(&[
+        "verify",
+        "--schedules",
+        "--max-world",
+        "5",
+        "--blocks",
+        "16",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+    // All four collectives appear in the per-algorithm tally.
+    for name in ["ring", "bruck", "binomial", "ring_reduce_scatter"] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+}
+
+#[test]
+fn good_schedule_doc_verifies_and_corrupt_one_fails() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let good = root.join("tests/fixtures/schedules/allgather_p2_good.json");
+    let corrupt = root.join("tests/fixtures/schedules/corrupt_drop_recv.json");
+
+    let out = pml(&["verify", "--schedules", good.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("OK (MPI_Allgather p=2 size=8)"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = pml(&["verify", "--schedules", corrupt.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt fixture verified");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("never received"), "{stderr}");
+}
+
+#[test]
+fn schedule_flags_without_schedules_mode_are_rejected() {
+    let out = pml(&["verify", "--max-world", "4", "some.json"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("only apply with --schedules"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn no_arguments_is_a_usage_error() {
     let out = pml(&["verify"]);
     assert!(!out.status.success());
